@@ -1,0 +1,74 @@
+"""Ablation study (ours): design choices DESIGN.md calls out.
+
+* Alg.-3 caching on/off — identical output, different speed;
+* vacuum pairing on/off — Pauli-weight cost of the constraint (Table VI's
+  mechanism) plus its state-preparation benefit;
+* term-ordering strategy for the synthesis back-end.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table, write_result
+from repro.circuits import to_cx_u3, trotter_circuit
+from repro.hatt import hatt_mapping
+from repro.models import hubbard_case
+from repro.models.electronic import electronic_case
+from repro.paulis import QubitOperator
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    rows = []
+    for name, h in [
+        ("2x3 Hubbard", hubbard_case("2x3")),
+        ("LiH frz", electronic_case("LiH_sto3g_frz").hamiltonian),
+    ]:
+        n = h.n_modes
+        t0 = time.perf_counter()
+        cached = hatt_mapping(h, n_modes=n, cached=True)
+        t_cached = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        uncached = hatt_mapping(h, n_modes=n, cached=False)
+        t_uncached = time.perf_counter() - t0
+        assert cached.strings == uncached.strings
+        w_vac = cached.map(h).pauli_weight()
+        w_free = hatt_mapping(h, n_modes=n, vacuum=False).map(h).pauli_weight()
+        rows.append(
+            [name, n, f"{t_cached:.4f}", f"{t_uncached:.4f}", w_vac, w_free,
+             cached.preserves_vacuum()]
+        )
+    content = format_table(
+        "Ablation - caching & vacuum pairing",
+        ["case", "modes", "t cached", "t uncached", "weight (vac)",
+         "weight (free)", "vacuum ok"],
+        rows,
+    )
+    write_result("ablation_hatt", content)
+    return rows
+
+
+def test_ablation_cache_identical_output(ablation):
+    # Asserted inside the fixture; presence of rows means it held.
+    assert len(ablation) == 2
+
+
+def test_ablation_term_ordering():
+    """Lexicographic ordering beats insertion order for ladder sharing."""
+    h = hubbard_case("2x2")
+    from repro.mappings import jordan_wigner
+
+    hq = jordan_wigner(8).map(h)
+    lex = to_cx_u3(trotter_circuit(hq, order="lexicographic"))
+    given = to_cx_u3(trotter_circuit(hq, order="given"))
+    assert lex.cx_count <= given.cx_count
+
+
+def test_bench_cached_vs_uncached(benchmark, ablation):
+    h = hubbard_case("3x3")
+
+    def run():
+        return hatt_mapping(h, cached=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,102 @@
+"""Paper Fig. 12: compilation-time scalability on HF = Σ_i M_i.
+
+Fermihedral's SAT search hits an exponential wall while both HATT variants
+scale polynomially, with the Alg.-3 caching giving a consistent speedup
+(the paper measures 59.73% at the top end).  We time all three and fit the
+log-log slopes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import full_run
+from repro.analysis import format_table, write_result
+from repro.fermion import MajoranaOperator
+from repro.fermihedral import fermihedral_mapping
+from repro.hatt import hatt_mapping
+
+HATT_SIZES = [4, 8, 12, 16, 20] + ([28, 36, 48] if full_run() else [])
+FH_SIZES = [1, 2] + ([3] if full_run() else [])
+FH_TIME_LIMIT = 120.0 if full_run() else 20.0
+
+
+def majorana_sum(n: int) -> MajoranaOperator:
+    h = MajoranaOperator.zero()
+    for i in range(2 * n):
+        h = h + MajoranaOperator.single(i)
+    return h
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    rows = []
+    times = {"HATT": [], "HATT (unopt)": []}
+    for n in HATT_SIZES:
+        h = majorana_sum(n)
+        t0 = time.perf_counter()
+        hatt_mapping(h, n_modes=n, vacuum=True, cached=True)
+        t_opt = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hatt_mapping(h, n_modes=n, vacuum=False)
+        t_unopt = time.perf_counter() - t0
+        times["HATT"].append((n, t_opt))
+        times["HATT (unopt)"].append((n, t_unopt))
+        rows.append([n, f"{t_opt:.4f}", f"{t_unopt:.4f}", "--"])
+    for n in FH_SIZES:
+        h = majorana_sum(n)
+        result = fermihedral_mapping(h, n_modes=n, time_limit=FH_TIME_LIMIT)
+        label = f"{result.solve_time:.2f}{'' if result.optimal else ' (timeout)'}"
+        rows.append([n, "-", "-", label])
+
+    # Log-log slope estimates (paper: O(N^3) vs O(N^4)).
+    slopes = {}
+    for name, points in times.items():
+        ns = np.log([p[0] for p in points])
+        ts = np.log([max(p[1], 1e-6) for p in points])
+        slopes[name] = float(np.polyfit(ns, ts, 1)[0])
+    footer = (
+        f"fitted log-log slopes: HATT ~ N^{slopes['HATT']:.2f}, "
+        f"HATT(unopt) ~ N^{slopes['HATT (unopt)']:.2f} "
+        "(paper: N^3 vs N^4; FH exponential)"
+    )
+    content = format_table(
+        "Fig. 12 - compilation time on HF = sum_i M_i (seconds)",
+        ["modes", "HATT", "HATT (unopt)", "Fermihedral"],
+        rows,
+    ) + "\n" + footer
+    write_result("fig12_scaling", content)
+    return times, slopes
+
+
+def test_fig12_unopt_slower_at_scale(fig12):
+    times, _ = fig12
+    # At the largest common size the unopt variant must not be faster.
+    n, t_opt = times["HATT"][-1]
+    _, t_unopt = times["HATT (unopt)"][-1]
+    assert t_unopt >= t_opt * 0.9, (n, t_opt, t_unopt)
+
+
+def test_fig12_polynomial_slopes(fig12):
+    """Both variants scale polynomially; unopt has the steeper slope."""
+    _, slopes = fig12
+    assert slopes["HATT"] < 5.0
+    assert slopes["HATT (unopt)"] <= slopes["HATT"] + 3.0
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_bench_hatt_scaling(benchmark, n, fig12):
+    h = majorana_sum(n)
+    benchmark.pedantic(
+        lambda: hatt_mapping(h, n_modes=n), rounds=3, iterations=1
+    )
+
+
+def test_bench_fermihedral_n2(benchmark):
+    h = majorana_sum(2)
+    benchmark.pedantic(
+        lambda: fermihedral_mapping(h, n_modes=2, time_limit=30),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,68 @@
+"""Paper Table V: Rustiq-style synthesis (simultaneous diagonalization).
+
+JW vs HATT through the commuting-group diagonalization synthesizer.  The
+paper's point: HATT's advantage persists under smarter synthesis back-ends
+developed for JW.
+"""
+
+import pytest
+
+from conftest import full_run
+from repro.analysis import evaluate_mapping, format_table, write_result
+from repro.hatt import hatt_mapping
+from repro.mappings import jordan_wigner
+from repro.models.electronic import electronic_case
+
+CASES = ["H2_sto3g", "H2_631g", "LiH_sto3g_frz"]
+if full_run():
+    CASES += ["NH_sto3g_frz", "LiH_sto3g", "H2O_sto3g_frz"]
+
+
+@pytest.fixture(scope="module")
+def table5():
+    rows = []
+    for name in CASES:
+        case = electronic_case(name)
+        jw = evaluate_mapping(
+            case.hamiltonian, jordan_wigner(case.n_modes), synthesis="grouped"
+        )
+        hatt = evaluate_mapping(
+            case.hamiltonian,
+            hatt_mapping(case.hamiltonian, n_modes=case.n_modes),
+            synthesis="grouped",
+        )
+        rows.append(
+            [
+                name,
+                jw.cx_count,
+                hatt.cx_count,
+                jw.u3_count,
+                hatt.u3_count,
+                jw.depth,
+                hatt.depth,
+            ]
+        )
+    content = format_table(
+        "Table V - simultaneous-diagonalization synthesis (Rustiq stand-in)",
+        ["case", "JW cx", "HATT cx", "JW u3", "HATT u3", "JW depth",
+         "HATT depth"],
+        rows,
+    )
+    write_result("table5_rustiq", content)
+    return rows
+
+
+def test_table5_hatt_wins_on_average(table5):
+    jw_total = sum(r[1] for r in table5)
+    hatt_total = sum(r[2] for r in table5)
+    assert hatt_total <= jw_total * 1.05
+
+
+def test_bench_grouped_synthesis(benchmark, table5):
+    case = electronic_case("H2_sto3g")
+    mapping = jordan_wigner(case.n_modes)
+
+    def run():
+        return evaluate_mapping(case.hamiltonian, mapping, synthesis="grouped")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

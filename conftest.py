@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make src/ importable without an installed package.
+
+The offline environment lacks the `wheel` package needed by `pip install -e .`;
+a `.pth` file plus this fallback provide equivalent editable-install semantics.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,38 @@
+"""Evaluation pipeline: metrics, tables, noisy experiments, paper references."""
+
+from .noisy import EnergyExperiment, noisy_energy_experiment
+from .paper_reference import (
+    TABLE1_PAULI_WEIGHT,
+    TABLE2_PAULI_WEIGHT,
+    TABLE3_PAULI_WEIGHT,
+    TABLE6_UNOPT,
+)
+from .pipeline import (
+    BASELINE_NAMES,
+    MappingReport,
+    compare_mappings,
+    evaluate_mapping,
+    standard_mappings,
+)
+from .tables import format_table, results_dir, write_result
+from .trotter_error import commutator_weight, empirical_trotter_error, trotter_error_bound
+
+__all__ = [
+    "MappingReport",
+    "evaluate_mapping",
+    "standard_mappings",
+    "compare_mappings",
+    "BASELINE_NAMES",
+    "format_table",
+    "write_result",
+    "results_dir",
+    "EnergyExperiment",
+    "noisy_energy_experiment",
+    "commutator_weight",
+    "trotter_error_bound",
+    "empirical_trotter_error",
+    "TABLE1_PAULI_WEIGHT",
+    "TABLE2_PAULI_WEIGHT",
+    "TABLE3_PAULI_WEIGHT",
+    "TABLE6_UNOPT",
+]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints a paper-shaped table (same rows/columns as the
+corresponding table or figure) and writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["format_table", "write_result", "results_dir"]
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    base = os.environ.get("REPRO_RESULTS_DIR")
+    if base:
+        path = Path(base)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_result(name: str, content: str) -> Path:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{content}\n")
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

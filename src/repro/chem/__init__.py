@@ -1,0 +1,45 @@
+"""Mini quantum-chemistry substrate: basis sets, integrals, RHF, active spaces."""
+
+from .active_space import ActiveSpace, active_space_integrals
+from .basis import (
+    ANGSTROM_TO_BOHR,
+    ELEMENTS,
+    BasisFunction,
+    atom_basis,
+    build_basis,
+    slater_zetas,
+)
+from .integrals import (
+    boys,
+    core_hamiltonian,
+    eri_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    nuclear_repulsion,
+    overlap_matrix,
+)
+from .molecules import Molecule, molecule
+from .scf import SCFResult, mo_integrals, restricted_hartree_fock
+
+__all__ = [
+    "ActiveSpace",
+    "active_space_integrals",
+    "BasisFunction",
+    "atom_basis",
+    "build_basis",
+    "slater_zetas",
+    "ELEMENTS",
+    "ANGSTROM_TO_BOHR",
+    "boys",
+    "overlap_matrix",
+    "kinetic_matrix",
+    "nuclear_attraction_matrix",
+    "nuclear_repulsion",
+    "core_hamiltonian",
+    "eri_tensor",
+    "Molecule",
+    "molecule",
+    "SCFResult",
+    "restricted_hartree_fock",
+    "mo_integrals",
+]

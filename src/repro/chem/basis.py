@@ -1,0 +1,239 @@
+"""Gaussian basis sets for the mini quantum-chemistry substrate.
+
+The paper obtains molecular integrals from PySCF with the STO-3G basis.  This
+offline reproduction rebuilds STO-3G from first principles:
+
+* Universal 3-Gaussian least-squares expansions of Slater orbitals (ζ = 1),
+  fitted once with the procedure of Hehre–Stewart–Pople.  Our fitted 1s and
+  2sp values reproduce the published STO-3G constants to 4–5 decimals
+  (e.g. 1s: α = 2.2277/0.4058/0.1098, d = 0.1543/0.5352/0.4446), which
+  validates the 3sp row that the published tables are harder to source for.
+* Per-element Slater exponents ζ from Slater's screening rules (H uses the
+  standard molecular-environment value 1.24).  Scaling a ζ=1 expansion to ζ
+  multiplies every Gaussian exponent by ζ² and leaves the contraction
+  coefficients (over *normalized* primitives) unchanged.
+
+Hydrogen additionally gets the published 6-31G primitives so that the paper's
+``H2 631g`` case runs exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BasisFunction",
+    "atom_basis",
+    "build_basis",
+    "slater_zetas",
+    "ELEMENTS",
+    "ANGSTROM_TO_BOHR",
+]
+
+ANGSTROM_TO_BOHR = 1.8897259886
+
+ELEMENTS = {
+    "H": 1, "He": 2, "Li": 3, "Be": 4, "B": 5, "C": 6,
+    "N": 7, "O": 8, "F": 9, "Ne": 10, "Na": 11,
+}
+
+# Universal 3-Gaussian expansions of normalized Slater orbitals with ζ = 1.
+# Coefficients multiply *normalized* Gaussian primitives.  The 1s and 2sp rows
+# match the published STO-3G tables; 3sp comes from the same fit procedure.
+_EXPANSIONS: dict[str, tuple[tuple[float, ...], tuple[float, ...]]] = {
+    "1s": (
+        (2.22766058, 0.40577116, 0.10981751),
+        (0.15430346, 0.53523967, 0.44456106),
+    ),
+    "2s": (
+        (0.99419283, 0.23103103, 0.07513866),
+        (-0.09993515, 0.39938447, 0.69989075),
+    ),
+    "2p": (
+        (0.99419283, 0.23103103, 0.07513866),
+        (0.15588931, 0.60757252, 0.39188707),
+    ),
+    "3s": (
+        (0.48285426, 0.13471512, 0.05272658),
+        (-0.21958595, 0.22555965, 0.90025814),
+    ),
+    "3p": (
+        (0.48285426, 0.13471512, 0.05272658),
+        (0.01058605, 0.59508368, 0.46193687),
+    ),
+}
+
+# Published 6-31G for hydrogen: (exponents, coefficients) per contracted shell.
+_H_631G = [
+    ((18.7311370, 2.8253937, 0.6401217), (0.03349460, 0.23472695, 0.81375733)),
+    ((0.1612778,), (1.0,)),
+]
+
+_P_DIRECTIONS = ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+
+def _double_factorial(n: int) -> int:
+    if n <= 0:
+        return 1
+    out = 1
+    while n > 0:
+        out *= n
+        n -= 2
+    return out
+
+
+def primitive_norm(alpha: float, lmn: tuple[int, int, int]) -> float:
+    """Normalization constant of a Cartesian Gaussian ``x^l y^m z^n e^{-αr²}``."""
+    l, m, n = lmn
+    L = l + m + n
+    num = (2 * alpha / math.pi) ** 1.5 * (4 * alpha) ** L
+    den = (
+        _double_factorial(2 * l - 1)
+        * _double_factorial(2 * m - 1)
+        * _double_factorial(2 * n - 1)
+    )
+    return math.sqrt(num / den)
+
+
+def _self_overlap(alphas: np.ndarray, coeffs: np.ndarray, lmn: tuple[int, int, int]) -> float:
+    """⟨φ|φ⟩ of a same-center contraction with raw primitive coefficients."""
+    l, m, n = lmn
+    L = l + m + n
+    dfac = (
+        _double_factorial(2 * l - 1)
+        * _double_factorial(2 * m - 1)
+        * _double_factorial(2 * n - 1)
+    )
+    total = 0.0
+    for ci, ai in zip(coeffs, alphas):
+        for cj, aj in zip(coeffs, alphas):
+            p = ai + aj
+            total += ci * cj * dfac / (2 * p) ** L * (math.pi / p) ** 1.5
+    return total
+
+
+@dataclass
+class BasisFunction:
+    """One contracted Cartesian Gaussian: ``Σ_k c_k x^l y^m z^n e^{-α_k r²}``.
+
+    ``coeffs`` are final primitive coefficients — primitive normalization and
+    overall contraction normalization are already folded in.
+    """
+
+    center: np.ndarray
+    lmn: tuple[int, int, int]
+    alphas: np.ndarray
+    coeffs: np.ndarray
+    label: str = ""
+
+    @classmethod
+    def contracted(
+        cls,
+        center: np.ndarray,
+        lmn: tuple[int, int, int],
+        alphas,
+        norm_coeffs,
+        label: str = "",
+    ) -> "BasisFunction":
+        """Build from coefficients given over *normalized* primitives."""
+        alphas = np.asarray(alphas, dtype=float)
+        raw = np.array(
+            [c * primitive_norm(a, lmn) for c, a in zip(norm_coeffs, alphas)]
+        )
+        s = _self_overlap(alphas, raw, lmn)
+        raw /= math.sqrt(s)
+        return cls(np.asarray(center, dtype=float), lmn, alphas, raw, label)
+
+    @property
+    def angular_momentum(self) -> int:
+        return sum(self.lmn)
+
+    def __repr__(self) -> str:
+        return f"BasisFunction({self.label or self.lmn}, {len(self.alphas)} prims)"
+
+
+def slater_zetas(z: int) -> dict[str, float]:
+    """Slater's-rule exponents per shell for element ``z`` (H..Na supported)."""
+    if z < 1 or z > 11:
+        raise ValueError(f"element Z={z} outside the supported range (1..11)")
+    if z == 1:
+        return {"1s": 1.24}  # standard molecular-environment hydrogen exponent
+    n1 = min(z, 2)
+    n2 = min(max(z - 2, 0), 8)
+    n3 = max(z - 10, 0)
+    zetas = {"1s": z - 0.30 * (n1 - 1)}
+    if z >= 3:
+        eff2 = max(n2, 1)  # unoccupied 2p in Li/Be still needs a positive ζ
+        zetas["2sp"] = (z - 0.85 * n1 - 0.35 * (eff2 - 1)) / 2
+    if z >= 11:
+        eff3 = max(n3, 1)
+        zetas["3sp"] = (z - 1.00 * n1 - 0.85 * n2 - 0.35 * (eff3 - 1)) / 3
+    return zetas
+
+
+def _sto3g_shells(z: int) -> list[tuple[str, float]]:
+    """(shell label, ζ) pairs defining the minimal basis for element ``z``."""
+    zetas = slater_zetas(z)
+    shells = [("1s", zetas["1s"])]
+    if z >= 3:
+        shells.append(("2s", zetas["2sp"]))
+        shells.append(("2p", zetas["2sp"]))
+    if z >= 11:
+        shells.append(("3s", zetas["3sp"]))
+        shells.append(("3p", zetas["3sp"]))
+    return shells
+
+
+def atom_basis(symbol: str, center, name: str = "sto-3g") -> list[BasisFunction]:
+    """Basis functions of one atom at ``center`` (Bohr)."""
+    z = ELEMENTS.get(symbol)
+    if z is None:
+        raise ValueError(f"unknown element {symbol!r}")
+    center = np.asarray(center, dtype=float)
+    name = name.lower()
+    functions: list[BasisFunction] = []
+    if name == "sto-3g":
+        for shell, zeta in _sto3g_shells(z):
+            alphas0, d = _EXPANSIONS[shell]
+            alphas = [a * zeta * zeta for a in alphas0]
+            if shell.endswith("s"):
+                functions.append(
+                    BasisFunction.contracted(
+                        center, (0, 0, 0), alphas, d, f"{symbol}:{shell}"
+                    )
+                )
+            else:
+                for lmn in _P_DIRECTIONS:
+                    functions.append(
+                        BasisFunction.contracted(
+                            center, lmn, alphas, d, f"{symbol}:{shell}"
+                        )
+                    )
+    elif name == "6-31g":
+        if symbol != "H":
+            raise ValueError(
+                "6-31G data is bundled for hydrogen only (offline environment); "
+                f"got {symbol!r}"
+            )
+        for k, (alphas, d) in enumerate(_H_631G):
+            functions.append(
+                BasisFunction.contracted(
+                    center, (0, 0, 0), alphas, d, f"H:1s({k})"
+                )
+            )
+    else:
+        raise ValueError(f"unknown basis set {name!r}")
+    return functions
+
+
+def build_basis(
+    atoms: list[tuple[str, tuple[float, float, float]]], name: str = "sto-3g"
+) -> list[BasisFunction]:
+    """Basis for a whole molecule; ``atoms`` carry Bohr coordinates."""
+    functions: list[BasisFunction] = []
+    for symbol, coords in atoms:
+        functions.extend(atom_basis(symbol, coords, name))
+    return functions

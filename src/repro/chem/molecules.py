@@ -1,0 +1,79 @@
+"""Molecule catalog with standard experimental geometries.
+
+The paper pulls geometries from PubChem; offline we hard-code the standard
+equilibrium structures (bond lengths in Å, converted to Bohr here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basis import ANGSTROM_TO_BOHR, ELEMENTS
+
+__all__ = ["Molecule", "molecule"]
+
+
+@dataclass
+class Molecule:
+    name: str
+    atoms: list[tuple[str, tuple[float, float, float]]]  # symbol, Bohr coords
+
+    @property
+    def n_electrons(self) -> int:
+        return sum(ELEMENTS[sym] for sym, _ in self.atoms)
+
+    @property
+    def charges(self) -> list[tuple[int, np.ndarray]]:
+        return [(ELEMENTS[sym], np.asarray(xyz)) for sym, xyz in self.atoms]
+
+
+def _ang(atoms: list[tuple[str, tuple[float, float, float]]]):
+    return [
+        (sym, tuple(c * ANGSTROM_TO_BOHR for c in xyz)) for sym, xyz in atoms
+    ]
+
+
+_CH4_A = 1.087 / math.sqrt(3.0)
+
+_GEOMETRIES: dict[str, list[tuple[str, tuple[float, float, float]]]] = {
+    "H2": [("H", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, 0.735))],
+    "LiH": [("Li", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, 1.595))],
+    "NH": [("N", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, 1.036))],
+    "H2O": [
+        ("O", (0.0, 0.0, 0.1173)),
+        ("H", (0.0, 0.7572, -0.4692)),
+        ("H", (0.0, -0.7572, -0.4692)),
+    ],
+    "CH4": [
+        ("C", (0.0, 0.0, 0.0)),
+        ("H", (_CH4_A, _CH4_A, _CH4_A)),
+        ("H", (_CH4_A, -_CH4_A, -_CH4_A)),
+        ("H", (-_CH4_A, _CH4_A, -_CH4_A)),
+        ("H", (-_CH4_A, -_CH4_A, _CH4_A)),
+    ],
+    "O2": [("O", (0.0, 0.0, 0.0)), ("O", (0.0, 0.0, 1.208))],
+    "BeH2": [
+        ("Be", (0.0, 0.0, 0.0)),
+        ("H", (0.0, 0.0, 1.326)),
+        ("H", (0.0, 0.0, -1.326)),
+    ],
+    "NaF": [("Na", (0.0, 0.0, 0.0)), ("F", (0.0, 0.0, 1.926))],
+    "CO2": [
+        ("C", (0.0, 0.0, 0.0)),
+        ("O", (0.0, 0.0, 1.162)),
+        ("O", (0.0, 0.0, -1.162)),
+    ],
+}
+
+
+def molecule(name: str) -> Molecule:
+    """Look up a catalog molecule by name (e.g. ``"H2O"``)."""
+    try:
+        geometry = _GEOMETRIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_GEOMETRIES))
+        raise ValueError(f"unknown molecule {name!r}; known: {known}") from None
+    return Molecule(name, _ang(geometry))

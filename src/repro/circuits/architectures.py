@@ -1,0 +1,99 @@
+"""Quantum-processor coupling graphs (paper §V-B3, Table IV targets).
+
+The paper routes circuits onto IBM Manhattan (65q heavy-hex), Google
+Sycamore (54q diagonal grid) and IBM Montreal (27q heavy-hex) with Tetris.
+Offline we generate faithful stand-ins:
+
+* heavy-hex-style lattices with the exact qubit counts (65 / 27), degree ≤ 3,
+  built as horizontal qubit rows joined by sparse vertical connector qubits
+  with alternating offsets — the defining features that make routing on
+  heavy-hex expensive;
+* a 54-qubit Sycamore-style diagonal grid (degree ≤ 4);
+* an all-to-all 36-qubit graph standing in for IonQ Forte 1.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["heavy_hex", "manhattan", "montreal", "sycamore", "ionq_forte", "architecture"]
+
+
+def heavy_hex(n_rows: int, row_length: int, connector_spacing: int = 4) -> nx.Graph:
+    """Heavy-hex-style lattice: ``n_rows`` paths of ``row_length`` qubits,
+    adjacent rows bridged through dedicated connector qubits placed every
+    ``connector_spacing`` columns with the IBM-style alternating offset."""
+    g = nx.Graph()
+    def row_qubit(r: int, c: int) -> int:
+        return r * row_length + c
+
+    for r in range(n_rows):
+        for c in range(row_length - 1):
+            g.add_edge(row_qubit(r, c), row_qubit(r, c + 1))
+    next_id = n_rows * row_length
+    for r in range(n_rows - 1):
+        offset = (connector_spacing // 2) * (r % 2)
+        for c in range(offset, row_length, connector_spacing):
+            connector = next_id
+            next_id += 1
+            g.add_edge(row_qubit(r, c), connector)
+            g.add_edge(connector, row_qubit(r + 1, c))
+    return g
+
+
+def manhattan() -> nx.Graph:
+    """65-qubit heavy-hex-style graph (IBM Manhattan stand-in)."""
+    g = heavy_hex(5, 11, connector_spacing=5)  # 55 row qubits + 10 connectors
+    assert g.number_of_nodes() == 65
+    return g
+
+
+def montreal() -> nx.Graph:
+    """27-qubit heavy-hex-style graph (IBM Montreal stand-in)."""
+    g = heavy_hex(3, 7, connector_spacing=4)  # 21 row qubits + 4 connectors
+    # The Falcon r4 lattice has 27 qubits; extend with two pendant qubits on
+    # the outer rows, as on the real device's boundary.
+    g.add_edge(0, 25)
+    g.add_edge(20, 26)
+    assert g.number_of_nodes() == 27
+    return g
+
+
+def sycamore() -> nx.Graph:
+    """54-qubit Sycamore-style diagonal grid (6 × 9, degree ≤ 4)."""
+    rows, cols = 6, 9
+    g = nx.Graph()
+    g.add_nodes_from(range(rows * cols))
+
+    def q(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows - 1):
+        for c in range(cols):
+            g.add_edge(q(r, c), q(r + 1, c))
+            # Diagonal neighbour alternates direction per row.
+            c2 = c + 1 if r % 2 == 0 else c - 1
+            if 0 <= c2 < cols:
+                g.add_edge(q(r, c), q(r + 1, c2))
+    return g
+
+
+def ionq_forte() -> nx.Graph:
+    """36-qubit all-to-all connectivity (IonQ Forte 1)."""
+    return nx.complete_graph(36)
+
+
+_ARCHITECTURES = {
+    "manhattan": manhattan,
+    "montreal": montreal,
+    "sycamore": sycamore,
+    "ionq_forte": ionq_forte,
+}
+
+
+def architecture(name: str) -> nx.Graph:
+    try:
+        return _ARCHITECTURES[name.lower()]()
+    except KeyError:
+        known = ", ".join(_ARCHITECTURES)
+        raise ValueError(f"unknown architecture {name!r}; known: {known}") from None

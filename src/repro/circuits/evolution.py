@@ -1,0 +1,127 @@
+"""Pauli-evolution circuit synthesis (paper §II-B2, Fig. 2).
+
+Each term ``exp(-i·θ·P)`` compiles to: basis changes (H for X, S†H for Y),
+a CNOT ladder entangling the support onto a target qubit, ``Rz(2θ)`` on the
+target, and the inverse ladder/basis changes.  Identity operators generate
+no gates — this is why the Hamiltonian Pauli weight is the paper's proxy for
+circuit cost.
+
+Terms are ordered lexicographically by support so that adjacent terms share
+ladder prefixes; the peephole optimizer then cancels the shared CNOTs
+(a light-weight stand-in for Paulihedral's block-wise optimization).
+"""
+
+from __future__ import annotations
+
+from ..paulis import PauliString, QubitOperator
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = [
+    "evolution_term_circuit",
+    "trotter_circuit",
+    "order_terms_lexicographic",
+]
+
+
+def _basis_change(circuit: Circuit, string: PauliString, inverse: bool) -> None:
+    for q, op in string.ops():
+        if op == "X":
+            circuit.add("h", q)
+        elif op == "Y":
+            # Map Y -> Z:  (S† then H); inverse is (H then S).
+            if not inverse:
+                circuit.add("sdg", q)
+                circuit.add("h", q)
+            else:
+                circuit.add("h", q)
+                circuit.add("s", q)
+
+
+def evolution_term_circuit(
+    string: PauliString, angle: float, n_qubits: int | None = None
+) -> Circuit:
+    """Circuit for ``exp(-i·angle/2·P)`` (so the Rz angle equals ``angle``).
+
+    The target qubit is the lowest-index support qubit, as in the paper's
+    Fig. 2 example (q0).
+    """
+    n = n_qubits if n_qubits is not None else string.n
+    circuit = Circuit(n)
+    support = list(string.support)
+    if not support:
+        return circuit  # global phase only — no gates (paper: weight 0)
+    _basis_change(circuit, string, inverse=False)
+    target = support[0]
+    for i in range(len(support) - 1, 0, -1):
+        circuit.add("cx", support[i], support[i - 1])
+    circuit.add("rz", target, params=(angle,))
+    for i in range(1, len(support)):
+        circuit.add("cx", support[i], support[i - 1])
+    _basis_change(circuit, string, inverse=True)
+    return circuit
+
+
+def order_terms_lexicographic(
+    hamiltonian: QubitOperator,
+) -> list[tuple[PauliString, float]]:
+    """Deterministic term order maximizing shared ladder prefixes.
+
+    Sort key: the dense label (highest qubit first) — CNOT ladders descend
+    from the highest support qubit, so adjacent terms sharing a high-qubit
+    suffix hand the cancellation pass matching un-ladder/ladder pairs.
+    """
+    terms = [
+        (s, c.real)
+        for s, c in hamiltonian.terms()
+        if not s.is_identity and abs(c) > 1e-12
+    ]
+    terms.sort(key=lambda item: item[0].label())
+    return terms
+
+
+def trotter_circuit(
+    hamiltonian: QubitOperator,
+    time: float = 1.0,
+    steps: int = 1,
+    order: str = "lexicographic",
+    suzuki_order: int = 1,
+) -> Circuit:
+    """Product-formula circuit for ``e^{-iHt}``.
+
+    ``suzuki_order=1`` (paper default): ``(Π_j e^{-i·c_j·P_j·t/r})^r``.
+    ``suzuki_order=2``: the symmetric Strang splitting — forward half-step
+    then reversed half-step — with error O(t³/r²).
+
+    ``hamiltonian`` must be Hermitian (real canonical coefficients); the
+    identity term contributes only a global phase and is skipped.
+    """
+    if steps < 1:
+        raise ValueError("need at least one Trotter step")
+    if suzuki_order not in (1, 2):
+        raise ValueError("suzuki_order must be 1 or 2")
+    if not hamiltonian.is_hermitian():
+        raise ValueError("time evolution requires a Hermitian Hamiltonian")
+    if order == "lexicographic":
+        terms = order_terms_lexicographic(hamiltonian)
+    elif order == "given":
+        terms = [
+            (s, c.real) for s, c in hamiltonian.terms() if not s.is_identity
+        ]
+    else:
+        raise ValueError(f"unknown term order {order!r}")
+    circuit = Circuit(hamiltonian.n)
+    dt = time / steps
+    for _ in range(steps):
+        if suzuki_order == 1:
+            for string, coeff in terms:
+                circuit = circuit.compose(
+                    evolution_term_circuit(string, 2.0 * coeff * dt, hamiltonian.n)
+                )
+        else:
+            half = [(s, c * 0.5) for s, c in terms]
+            for string, coeff in half + half[::-1]:
+                circuit = circuit.compose(
+                    evolution_term_circuit(string, 2.0 * coeff * dt, hamiltonian.n)
+                )
+    return circuit

@@ -1,0 +1,159 @@
+"""Peephole circuit optimization (the paper's 'Qiskit L3' stand-in).
+
+Passes:
+
+* :func:`cancel_adjacent` — remove DAG-adjacent inverse pairs (H·H, CX·CX,
+  S·S†, …) and merge adjacent Rz rotations.
+* :func:`fuse_single_qubit` — collapse maximal runs of single-qubit gates
+  into one ``u3`` via ZYZ decomposition (identity runs vanish).
+* :func:`optimize` / :func:`to_cx_u3` — the full pipeline; ``to_cx_u3``
+  additionally rewrites cz/swap into the {CX, U3} basis the paper compiles to.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import Gate, gate_matrix
+
+__all__ = ["cancel_adjacent", "fuse_single_qubit", "optimize", "to_cx_u3", "zyz_angles"]
+
+_INVERSE_PAIRS = {
+    ("h", "h"), ("x", "x"), ("y", "y"), ("z", "z"),
+    ("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"),
+    ("cx", "cx"), ("cz", "cz"), ("swap", "swap"),
+}
+
+_ROTATIONS = {"rx", "ry", "rz"}
+
+_ANGLE_EPS = 1e-12
+
+
+def cancel_adjacent(circuit: Circuit) -> Circuit:
+    """Iteratively remove inverse pairs / merge rotations that are adjacent in
+    the circuit DAG (no gate on any shared qubit in between)."""
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        # last_on[q] = index into `out` of the latest gate touching qubit q.
+        out: list[Gate | None] = []
+        last_on: dict[int, int] = {}
+        for gate in gates:
+            prev_idx = {last_on.get(q) for q in gate.qubits}
+            prev = prev_idx.pop() if len(prev_idx) == 1 else None
+            if prev is not None and out[prev] is not None:
+                pg = out[prev]
+                if pg.qubits == gate.qubits:
+                    if (pg.name, gate.name) in _INVERSE_PAIRS and pg.params == ():
+                        out[prev] = None
+                        for q in gate.qubits:
+                            last_on.pop(q, None)
+                        changed = True
+                        continue
+                    if (
+                        pg.name == gate.name
+                        and gate.name in _ROTATIONS
+                    ):
+                        angle = pg.params[0] + gate.params[0]
+                        if abs(angle) < _ANGLE_EPS:
+                            out[prev] = None
+                            for q in gate.qubits:
+                                last_on.pop(q, None)
+                        else:
+                            out[prev] = Gate(gate.name, gate.qubits, (angle,))
+                        changed = True
+                        continue
+            for q in gate.qubits:
+                last_on[q] = len(out)
+            out.append(gate)
+        gates = [g for g in out if g is not None]
+    return Circuit(circuit.n_qubits, gates)
+
+
+def zyz_angles(u: np.ndarray) -> tuple[float, float, float]:
+    """ZYZ Euler angles (θ, φ, λ) with ``u ≅ e^{iα}·Rz(φ)·Ry(θ)·Rz(λ)``.
+
+    Global phase is discarded — u3(θ, φ, λ) then equals ``u`` up to phase.
+    """
+    det = np.linalg.det(u)
+    su = u / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[0, 0]) < 1e-12:
+        # Pure off-diagonal: only φ - λ is defined.
+        phi = 2.0 * cmath.phase(su[1, 0])
+        lam = 0.0
+    elif abs(su[1, 0]) < 1e-12:
+        phi = 2.0 * cmath.phase(su[1, 1])
+        lam = 0.0
+    else:
+        plus = 2.0 * cmath.phase(su[1, 1])
+        minus = 2.0 * cmath.phase(su[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    return theta, phi, lam
+
+
+def _is_identity(u: np.ndarray) -> bool:
+    phase = u[0, 0]
+    if abs(abs(phase) - 1.0) > 1e-9:
+        return False
+    return bool(np.allclose(u, phase * np.eye(2), atol=1e-9))
+
+
+def fuse_single_qubit(circuit: Circuit) -> Circuit:
+    """Fuse maximal 1q-gate runs into single u3 gates (dropping identities)."""
+    pending: dict[int, np.ndarray] = {}
+    out: list[Gate] = []
+
+    def flush(q: int) -> None:
+        u = pending.pop(q, None)
+        if u is None or _is_identity(u):
+            return
+        theta, phi, lam = zyz_angles(u)
+        out.append(Gate("u3", (q,), (theta, phi, lam)))
+
+    for gate in circuit.gates:
+        if len(gate.qubits) == 1:
+            q = gate.qubits[0]
+            pending[q] = gate.matrix() @ pending.get(q, np.eye(2, dtype=complex))
+        else:
+            for q in gate.qubits:
+                flush(q)
+            out.append(gate)
+    for q in sorted(pending):
+        flush(q)
+    return Circuit(circuit.n_qubits, out)
+
+
+def _expand_to_cx(circuit: Circuit) -> Circuit:
+    """Rewrite cz and swap into cx + 1q gates."""
+    out = Circuit(circuit.n_qubits)
+    for gate in circuit.gates:
+        if gate.name == "cz":
+            c, t = gate.qubits
+            out.add("h", t)
+            out.add("cx", c, t)
+            out.add("h", t)
+        elif gate.name == "swap":
+            a, b = gate.qubits
+            out.add("cx", a, b)
+            out.add("cx", b, a)
+            out.add("cx", a, b)
+        else:
+            out.append(gate)
+    return out
+
+
+def optimize(circuit: Circuit) -> Circuit:
+    """Cancellation followed by 1q fusion, then one more cancellation pass."""
+    return cancel_adjacent(fuse_single_qubit(cancel_adjacent(circuit)))
+
+
+def to_cx_u3(circuit: Circuit) -> Circuit:
+    """Full pipeline into the paper's {CX, U3} basis."""
+    return fuse_single_qubit(cancel_adjacent(_expand_to_cx(cancel_adjacent(circuit))))

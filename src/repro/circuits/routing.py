@@ -1,0 +1,162 @@
+"""SWAP-insertion routing onto constrained architectures (Tetris stand-in).
+
+SABRE-style lightweight router: logical qubits get an initial placement that
+puts heavily-interacting logicals on high-degree physicals; every CX whose
+endpoints are not adjacent triggers SWAPs along a shortest path, choosing at
+each step the move that also helps upcoming gates (a small lookahead).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["route_circuit", "RoutedCircuit", "initial_layout"]
+
+
+class RoutedCircuit:
+    """Routing result: hardware circuit + layout bookkeeping."""
+
+    def __init__(self, circuit: Circuit, initial: dict[int, int], final: dict[int, int]):
+        self.circuit = circuit
+        self.initial_layout = initial  # logical -> physical
+        self.final_layout = final
+
+    @property
+    def cx_count(self) -> int:
+        return self.circuit.cx_count
+
+    @property
+    def swap_count(self) -> int:
+        return self.circuit.count("swap")
+
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+
+def initial_layout(circuit: Circuit, graph: nx.Graph) -> dict[int, int]:
+    """Greedy placement: most-interacting logical pairs onto adjacent,
+    high-degree physical qubits."""
+    usage = Counter()
+    pair_usage = Counter()
+    for gate in circuit.gates:
+        for q in gate.qubits:
+            usage[q] += 1
+        if len(gate.qubits) == 2:
+            pair_usage[tuple(sorted(gate.qubits))] += 1
+    nodes_by_degree = sorted(graph.nodes, key=lambda n: -graph.degree[n])
+    layout: dict[int, int] = {}
+    used: set[int] = set()
+    for (a, b), _ in pair_usage.most_common():
+        if a in layout and b in layout:
+            continue
+        if a not in layout and b not in layout:
+            # Find an adjacent free pair, preferring high degree.
+            placed = False
+            for u in nodes_by_degree:
+                if u in used:
+                    continue
+                for v in graph.neighbors(u):
+                    if v not in used:
+                        layout[a], layout[b] = u, v
+                        used.update((u, v))
+                        placed = True
+                        break
+                if placed:
+                    break
+        else:
+            anchor, free = (a, b) if a in layout else (b, a)
+            for v in graph.neighbors(layout[anchor]):
+                if v not in used:
+                    layout[free] = v
+                    used.add(v)
+                    break
+    # Any remaining logicals (including idle ones) go to leftover physicals.
+    for q in range(circuit.n_qubits):
+        if q not in layout:
+            spot = next(n for n in nodes_by_degree if n not in used)
+            layout[q] = spot
+            used.add(spot)
+    return layout
+
+
+def route_circuit(
+    circuit: Circuit, graph: nx.Graph, lookahead: int = 8
+) -> RoutedCircuit:
+    """Map ``circuit`` onto ``graph``; inserted SWAPs count as 3 CX.
+
+    Output gates act on *physical* qubit indices.  The final layout records
+    where each logical ended up (routing permutes qubits; semantics are
+    preserved modulo that output permutation).
+    """
+    if circuit.n_qubits > graph.number_of_nodes():
+        raise ValueError(
+            f"{circuit.n_qubits} logical qubits exceed the architecture's "
+            f"{graph.number_of_nodes()}"
+        )
+    if not nx.is_connected(graph):
+        raise ValueError("coupling graph must be connected")
+    dist = dict(nx.all_pairs_shortest_path_length(graph))
+    layout = initial_layout(circuit, graph)
+    phys_of = dict(layout)
+    logical_of = {p: l for l, p in phys_of.items()}
+
+    n_phys = graph.number_of_nodes()
+    out = Circuit(n_phys)
+    gates = circuit.gates
+    two_qubit_queue = [
+        (i, g.qubits) for i, g in enumerate(gates) if len(g.qubits) == 2
+    ]
+    tq_pos = 0
+
+    def upcoming(after_index: int) -> list[tuple[int, int]]:
+        found = []
+        for idx, qubits in two_qubit_queue[tq_pos : tq_pos + lookahead]:
+            if idx > after_index:
+                found.append(qubits)
+        return found
+
+    def do_swap(p1: int, p2: int) -> None:
+        out.add("swap", p1, p2)
+        l1, l2 = logical_of.get(p1), logical_of.get(p2)
+        if l1 is not None:
+            phys_of[l1] = p2
+        if l2 is not None:
+            phys_of[l2] = p1
+        logical_of[p1], logical_of[p2] = l2, l1
+
+    for i, gate in enumerate(gates):
+        if len(gate.qubits) == 1:
+            out.append(Gate(gate.name, (phys_of[gate.qubits[0]],), gate.params))
+            continue
+        while tq_pos < len(two_qubit_queue) and two_qubit_queue[tq_pos][0] < i:
+            tq_pos += 1
+        a, b = gate.qubits
+        while dist[phys_of[a]][phys_of[b]] > 1:
+            pa, pb = phys_of[a], phys_of[b]
+            # Candidate swaps: neighbours of either endpoint that reduce the
+            # distance; score with the lookahead window.
+            best, best_score = None, None
+            future = upcoming(i)
+            for anchor, other in ((pa, pb), (pb, pa)):
+                for nb in graph.neighbors(anchor):
+                    if dist[nb][other] >= dist[anchor][other]:
+                        continue
+                    score = dist[nb][other]
+                    for la, lb in future:
+                        qa, qb = phys_of[la], phys_of[lb]
+                        # Effect of the candidate swap on this future pair.
+                        qa2 = nb if qa == anchor else (anchor if qa == nb else qa)
+                        qb2 = nb if qb == anchor else (anchor if qb == nb else qb)
+                        score += 0.25 * dist[qa2][qb2]
+                    if best_score is None or score < best_score:
+                        best_score, best = score, (anchor, nb)
+            assert best is not None, "no distance-reducing swap found"
+            do_swap(*best)
+        out.append(Gate(gate.name, (phys_of[a], phys_of[b]), gate.params))
+
+    return RoutedCircuit(out, layout, dict(phys_of))

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``  Evaluate JW/BK/BTT/HATT on a benchmark Hamiltonian and print a
+             Table-I-style row set.
+``map``      Compile one mapping and optionally save it to JSON.
+``cases``    List the built-in benchmark Hamiltonians.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import compare_mappings, format_table
+from .fermion import FermionOperator
+from .hatt import hatt_mapping
+from .mappings import (
+    balanced_ternary_tree,
+    bravyi_kitaev,
+    jordan_wigner,
+    parity_mapping,
+)
+from .mappings.io import save_mapping
+
+__all__ = ["main"]
+
+
+def _load_case(spec: str) -> FermionOperator:
+    """Resolve a case spec: ``hubbard:2x3``, ``neutrino:3x2F``, or an
+    electronic case name such as ``H2_sto3g``."""
+    if spec.startswith("hubbard:"):
+        from .models import hubbard_case
+
+        return hubbard_case(spec.split(":", 1)[1])
+    if spec.startswith("neutrino:"):
+        from .models import neutrino_case
+
+        return neutrino_case(spec.split(":", 1)[1])
+    from .models.electronic import electronic_case
+
+    return electronic_case(spec).hamiltonian
+
+
+_MAPPING_FACTORIES = {
+    "jw": lambda h, n: jordan_wigner(n),
+    "bk": lambda h, n: bravyi_kitaev(n),
+    "btt": lambda h, n: balanced_ternary_tree(n),
+    "parity": lambda h, n: parity_mapping(n),
+    "hatt": lambda h, n: hatt_mapping(h, n_modes=n),
+    "hatt-unopt": lambda h, n: hatt_mapping(h, n_modes=n, vacuum=False),
+}
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    h = _load_case(args.case)
+    n = h.n_modes
+    reports = compare_mappings(
+        h, n, compile_circuit=not args.no_circuit, include_unopt=args.unopt
+    )
+    rows = [r.row() for r in reports.values()]
+    print(format_table(
+        f"{args.case} ({n} modes)",
+        ["mapping", "Pauli weight", "CNOT", "depth"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    h = _load_case(args.case)
+    n = h.n_modes
+    factory = _MAPPING_FACTORIES[args.mapping]
+    mapping = factory(h, n)
+    weight = mapping.map(h).pauli_weight()
+    print(f"{mapping.name} mapping for {args.case}: {n} modes, "
+          f"Pauli weight {weight}, vacuum preserved: "
+          f"{mapping.preserves_vacuum()}")
+    if args.output:
+        save_mapping(mapping, args.output)
+        print(f"saved to {args.output}")
+    if args.show_strings:
+        for i, s in enumerate(mapping.strings):
+            print(f"  M_{i} -> {s}")
+    return 0
+
+
+def _cmd_cases(args: argparse.Namespace) -> int:
+    from .models.electronic import electronic_case_names
+
+    print("electronic:", ", ".join(electronic_case_names()))
+    print("hubbard:    hubbard:<AxB>   (paper Table II geometries, e.g. hubbard:2x3)")
+    print("neutrino:   neutrino:<NxFF> (paper Table III cases, e.g. neutrino:3x2F)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HATT fermion-to-qubit mapping toolkit (HPCA 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compare = sub.add_parser("compare", help="evaluate all mappings on a case")
+    p_compare.add_argument("case", help="e.g. H2_sto3g, hubbard:2x3, neutrino:3x2F")
+    p_compare.add_argument("--no-circuit", action="store_true",
+                           help="skip circuit synthesis (Pauli weight only)")
+    p_compare.add_argument("--unopt", action="store_true",
+                           help="include HATT without vacuum pairing")
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_map = sub.add_parser("map", help="compile one mapping")
+    p_map.add_argument("case")
+    p_map.add_argument("--mapping", choices=sorted(_MAPPING_FACTORIES),
+                       default="hatt")
+    p_map.add_argument("--output", help="save mapping JSON here")
+    p_map.add_argument("--show-strings", action="store_true")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_cases = sub.add_parser("cases", help="list built-in benchmark cases")
+    p_cases.set_defaults(func=_cmd_cases)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Fermihedral-style SAT-optimal mapping search (exhaustive baseline)."""
+
+from .encoding import MappingEncoding
+from .sat import SAT, UNKNOWN, UNSAT, Solver
+from .search import FermihedralResult, fermihedral_mapping
+
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "MappingEncoding",
+    "FermihedralResult",
+    "fermihedral_mapping",
+]

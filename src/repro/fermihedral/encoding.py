@@ -1,0 +1,162 @@
+"""CNF encoding of the optimal fermion-to-qubit mapping problem.
+
+Following Fermihedral [Liu et al., ASPLOS'24]: a mapping for N modes is 2N
+Pauli strings encoded by symplectic bits ``x[i][q]``, ``z[i][q]``.  Validity
+is pairwise anticommutation — the symplectic inner product of every string
+pair must be 1 (an XOR-of-ANDs parity constraint per pair).  Pairwise
+anticommutation of 2N non-identity strings already implies algebraic
+independence (see ``tests/test_fermihedral.py::test_anticommutation_implies_independence``),
+so no extra constraint is needed.
+
+The objective — the Pauli weight of the mapped Hamiltonian — is encoded as
+one indicator per (term, qubit): the term's product has a non-identity
+operator on ``q`` iff the XOR of its strings' x-bits or z-bits is 1.  A
+sequential-counter cardinality constraint caps the indicator sum at ``k``;
+the search layer binary-searches ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..paulis import PauliString
+from .sat import Solver
+
+__all__ = ["MappingEncoding"]
+
+
+@dataclass
+class MappingEncoding:
+    """CNF builder for an N-mode instance with Hamiltonian terms."""
+
+    n_modes: int
+    terms: list[tuple[int, ...]]  # Majorana index subsets
+    solver: Solver = field(default_factory=Solver)
+
+    def __post_init__(self):
+        n, s = self.n_modes, self.solver
+        if n < 1:
+            raise ValueError("need at least one mode")
+        for t in self.terms:
+            if any(i >= 2 * n for i in t):
+                raise ValueError("term references a Majorana outside 2N")
+        self.x = [[s.new_var() for _ in range(n)] for _ in range(2 * n)]
+        self.z = [[s.new_var() for _ in range(n)] for _ in range(2 * n)]
+        self._indicators: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Gadgets
+    # ------------------------------------------------------------------
+    def _and(self, a: int, b: int) -> int:
+        """t <-> a ∧ b."""
+        s = self.solver
+        t = s.new_var()
+        s.add_clause([-t, a])
+        s.add_clause([-t, b])
+        s.add_clause([t, -a, -b])
+        return t
+
+    def _xor(self, a: int, b: int) -> int:
+        """t <-> a ⊕ b."""
+        s = self.solver
+        t = s.new_var()
+        s.add_clause([-t, a, b])
+        s.add_clause([-t, -a, -b])
+        s.add_clause([t, -a, b])
+        s.add_clause([t, a, -b])
+        return t
+
+    def _xor_chain(self, lits: list[int]) -> int:
+        """Auxiliary variable equal to the parity of ``lits`` (non-empty)."""
+        acc = lits[0]
+        for l in lits[1:]:
+            acc = self._xor(acc, l)
+        return acc
+
+    def _or(self, a: int, b: int) -> int:
+        s = self.solver
+        t = s.new_var()
+        s.add_clause([-t, a, b])
+        s.add_clause([t, -a])
+        s.add_clause([t, -b])
+        return t
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def add_validity_constraints(self) -> None:
+        """Pairwise anticommutation + non-identity strings."""
+        n, s = self.n_modes, self.solver
+        for i in range(2 * n):
+            s.add_clause(self.x[i] + self.z[i])  # not the identity
+        for i in range(2 * n):
+            for j in range(i + 1, 2 * n):
+                # parity over q of x_i z_j ⊕ z_i x_j must be 1
+                parities = []
+                for q in range(n):
+                    a = self._and(self.x[i][q], self.z[j][q])
+                    b = self._and(self.z[i][q], self.x[j][q])
+                    parities.append(self._xor(a, b))
+                s.add_clause([self._xor_chain(parities)])
+
+    def weight_indicators(self) -> list[int]:
+        """One variable per (term, qubit), true iff the mapped term has a
+        non-identity operator there."""
+        if self._indicators is not None:
+            return self._indicators
+        out: list[int] = []
+        for term in self.terms:
+            for q in range(self.n_modes):
+                xs = [self.x[i][q] for i in term]
+                zs = [self.z[i][q] for i in term]
+                out.append(self._or(self._xor_chain(xs), self._xor_chain(zs)))
+        self._indicators = out
+        return out
+
+    def add_weight_bound(self, k: int) -> None:
+        """Sequential-counter encoding of ``Σ indicators ≤ k``."""
+        s = self.solver
+        lits = self.weight_indicators()
+        m = len(lits)
+        if k >= m:
+            return
+        if k < 0:
+            s.add_clause([])
+            return
+        if k == 0:
+            for l in lits:
+                s.add_clause([-l])
+            return
+        # registers[i][j]: at least j+1 of the first i+1 lits are true.
+        prev = [s.new_var() for _ in range(k)]
+        s.add_clause([-lits[0], prev[0]])
+        for j in range(1, k):
+            s.add_clause([-prev[j]])
+        for i in range(1, m):
+            cur = [s.new_var() for _ in range(k)]
+            s.add_clause([-lits[i], cur[0]])
+            for j in range(k):
+                s.add_clause([-prev[j], cur[j]])
+                if j + 1 < k:
+                    s.add_clause([-lits[i], -prev[j], cur[j + 1]])
+            # Overflow: lits[i] with k already reached is forbidden.
+            s.add_clause([-lits[i], -prev[k - 1]])
+            prev = cur
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self) -> list[PauliString]:
+        """Read the 2N Pauli strings out of a satisfying model."""
+        model = self.solver.model()
+        n = self.n_modes
+        strings = []
+        for i in range(2 * n):
+            xm = zm = 0
+            for q in range(n):
+                if model.get(self.x[i][q], False):
+                    xm |= 1 << q
+                if model.get(self.z[i][q], False):
+                    zm |= 1 << q
+            strings.append(PauliString(n, xm, zm))
+        return strings

@@ -1,0 +1,244 @@
+"""A compact CDCL SAT solver.
+
+Fermihedral [Liu et al., ASPLOS'24] finds Pauli-weight-optimal fermion-to-
+qubit mappings with an industrial SAT solver; offline we bring our own.
+This is a classic conflict-driven clause-learning solver with two-literal
+watches, 1UIP learning, VSIDS-style activities, phase saving, and geometric
+restarts — enough to handle the few-thousand-variable instances the
+Fermihedral encoding produces for small mode counts.
+
+Literals are non-zero ints (DIMACS convention): ``+v`` is variable ``v``
+true, ``-v`` false.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Solver", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Solver:
+    """CDCL solver; build with :meth:`add_clause`, then :meth:`solve`."""
+
+    def __init__(self):
+        self.n_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: dict[int, bool] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.reason: dict[int, int | None] = {}
+        self.level: dict[int, int] = {}
+        self.activity: dict[int, float] = {}
+        self.phase: dict[int, bool] = {}
+        self.var_inc = 1.0
+        self._unsat = False
+        self._units: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def add_clause(self, literals: list[int]) -> None:
+        lits = sorted(set(literals), key=abs)
+        if any(-l in lits for l in lits):
+            return  # tautology
+        if not lits:
+            self._unsat = True
+            return
+        for l in lits:
+            self.n_vars = max(self.n_vars, abs(l))
+        if len(lits) == 1:
+            # Unit clauses become level-0 facts at solve time; the two-watch
+            # scheme needs at least two literals.
+            self._units.append(lits[0])
+            return
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        for l in lits[:2]:
+            self.watches.setdefault(l, []).append(idx)
+
+    # ------------------------------------------------------------------
+    # Core machinery
+    # ------------------------------------------------------------------
+    def _value(self, lit: int):
+        v = self.assign.get(abs(lit))
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit: int, reason: int | None) -> None:
+        self.assign[abs(lit)] = lit > 0
+        self.reason[abs(lit)] = reason
+        self.level[abs(lit)] = len(self.trail_lim)
+        self.trail.append(lit)
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._qhead < len(self.trail):
+            lit = self.trail[self._qhead]
+            self._qhead += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified, [])
+            new_watchers = []
+            j = 0
+            while j < len(watchers):
+                ci = watchers[j]
+                j += 1
+                clause = self.clauses[ci]
+                # Ensure falsified literal is in slot 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watchers.append(ci)
+                    continue
+                # Search replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watchers.append(ci)
+                if self._value(first) is False:
+                    # Conflict: keep remaining watchers.
+                    new_watchers.extend(watchers[j:])
+                    self.watches[falsified] = new_watchers
+                    return ci
+                self._enqueue(first, ci)
+            self.watches[falsified] = new_watchers
+        return None
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+
+    def _decay(self) -> None:
+        self.var_inc /= 0.95
+        if self.var_inc > 1e100:
+            for v in self.activity:
+                self.activity[v] *= 1e-100
+            self.var_inc = 1.0
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """1UIP conflict analysis -> (learned clause, backjump level)."""
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        lit = None
+        clause = list(self.clauses[conflict])
+        idx = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            for l in clause:
+                v = abs(l)
+                if v in seen or (lit is not None and l == lit):
+                    continue
+                if v not in self.level:
+                    continue
+                seen.add(v)
+                self._bump(v)
+                if self.level[v] == current_level:
+                    counter += 1
+                elif self.level[v] > 0:
+                    learned.append(l)
+            # Walk the trail backwards to the next seen literal.
+            while abs(self.trail[idx]) not in seen:
+                idx -= 1
+            lit = self.trail[idx]
+            idx -= 1
+            counter -= 1
+            if counter == 0:
+                learned.append(-lit)
+                break
+            clause = [l for l in self.clauses[self.reason[abs(lit)]] if l != lit]
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted({self.level[abs(l)] for l in learned[:-1]})
+        return learned, levels[-1] if levels else 0
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                lit = self.trail.pop()
+                v = abs(lit)
+                self.phase[v] = lit > 0
+                del self.assign[v]
+                del self.reason[v]
+                del self.level[v]
+        self._qhead = min(self._qhead, len(self.trail))
+
+    def _decide(self) -> int | None:
+        best_v, best_a = None, -1.0
+        for v in range(1, self.n_vars + 1):
+            if v not in self.assign:
+                a = self.activity.get(v, 0.0)
+                if a > best_a:
+                    best_v, best_a = v, a
+        if best_v is None:
+            return None
+        return best_v if self.phase.get(best_v, False) else -best_v
+
+    # ------------------------------------------------------------------
+    # Public solve
+    # ------------------------------------------------------------------
+    def solve(self, time_limit: float | None = None) -> str:
+        if self._unsat:
+            return UNSAT
+        self._qhead = 0
+        for u in self._units:
+            val = self._value(u)
+            if val is False:
+                return UNSAT
+            if val is None:
+                self._enqueue(u, None)
+        deadline = time.monotonic() + time_limit if time_limit else None
+        conflicts_until_restart = 100
+        conflict_count = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflict_count += 1
+                if not self.trail_lim:
+                    return UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                idx = len(self.clauses)
+                # Slot 0: the asserting literal; slot 1: the deepest remaining
+                # literal (first to unassign later — keeps watches healthy).
+                rest = learned[:-1]
+                rest.sort(key=lambda l: self.level.get(abs(l), 0), reverse=True)
+                learned = [learned[-1]] + rest
+                self.clauses.append(learned)
+                for l in learned[:2]:
+                    self.watches.setdefault(l, []).append(idx)
+                self._enqueue(learned[0], idx if len(learned) > 1 else None)
+                self._decay()
+                if conflict_count >= conflicts_until_restart:
+                    conflict_count = 0
+                    conflicts_until_restart = int(conflicts_until_restart * 1.3)
+                    self._backtrack(0)
+                continue
+            if deadline is not None and time.monotonic() > deadline:
+                return UNKNOWN
+            decision = self._decide()
+            if decision is None:
+                return SAT
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, None)
+
+    def model(self) -> dict[int, bool]:
+        """Satisfying assignment (call after ``solve() == SAT``)."""
+        return dict(self.assign)

@@ -1,0 +1,5 @@
+"""HATT: Hamiltonian-Adaptive Ternary Tree construction (the paper's core)."""
+
+from .construction import HattConstruction, Selection, hatt_mapping
+
+__all__ = ["HattConstruction", "Selection", "hatt_mapping"]

@@ -1,0 +1,57 @@
+"""Mapping serialization.
+
+Compiled mappings are artifacts worth persisting (a HATT compile for a large
+molecule takes minutes); this module round-trips them through a stable JSON
+schema keyed by compact Pauli labels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..paulis import PauliString
+from .base import FermionQubitMapping
+
+__all__ = ["mapping_to_dict", "mapping_from_dict", "save_mapping", "load_mapping"]
+
+_SCHEMA_VERSION = 1
+
+
+def mapping_to_dict(mapping: FermionQubitMapping) -> dict:
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": mapping.name,
+        "n_modes": mapping.n_modes,
+        "n_qubits": mapping.n_qubits,
+        "majorana_strings": [s.compact() for s in mapping.strings],
+        "phases": [s.phase for s in mapping.strings],
+        "discarded": mapping.discarded.compact() if mapping.discarded else None,
+    }
+
+
+def mapping_from_dict(data: dict) -> FermionQubitMapping:
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported mapping schema {data.get('schema')!r}")
+    n = data["n_qubits"]
+    strings = [
+        PauliString.from_compact(label, n, phase=phase)
+        for label, phase in zip(data["majorana_strings"], data["phases"])
+    ]
+    discarded = (
+        PauliString.from_compact(data["discarded"], n)
+        if data.get("discarded")
+        else None
+    )
+    mapping = FermionQubitMapping(strings, name=data["name"], discarded=discarded)
+    if mapping.n_modes != data["n_modes"]:
+        raise ValueError("inconsistent mode count in serialized mapping")
+    return mapping
+
+
+def save_mapping(mapping: FermionQubitMapping, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(mapping_to_dict(mapping), indent=2))
+
+
+def load_mapping(path: str | Path) -> FermionQubitMapping:
+    return mapping_from_dict(json.loads(Path(path).read_text()))

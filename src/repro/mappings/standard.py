@@ -1,0 +1,108 @@
+"""Stock fermion-to-qubit mappings: JW, parity, Bravyi–Kitaev, balanced tree.
+
+All constructors return a :class:`~repro.mappings.base.FermionQubitMapping`.
+JW, parity and BTT are built through the generic ternary-tree machinery with
+vacuum pairing; Bravyi–Kitaev uses the Fenwick-tree set construction.
+"""
+
+from __future__ import annotations
+
+from ..paulis import PauliString
+from .base import FermionQubitMapping
+from .tree import TernaryTree, balanced_tree, jw_tree, parity_tree
+
+__all__ = [
+    "jordan_wigner",
+    "parity_mapping",
+    "bravyi_kitaev",
+    "balanced_ternary_tree",
+    "mapping_from_tree",
+    "fenwick_sets",
+]
+
+
+def mapping_from_tree(
+    tree: TernaryTree, name: str, vacuum: bool = True
+) -> FermionQubitMapping:
+    """Extract a mapping from a complete ternary tree.
+
+    With ``vacuum=True`` the Majorana assignment follows
+    :meth:`TernaryTree.vacuum_pairing`; otherwise strings are assigned by leaf
+    index (HATT assigns leaf ``i`` to ``M_i`` by construction).
+    """
+    tree.validate()
+    if vacuum:
+        strings, discarded = tree.vacuum_pairing()
+        return FermionQubitMapping(strings, name=name, discarded=discarded)
+    by_leaf = tree.strings_by_leaf_index()
+    return FermionQubitMapping(by_leaf[:-1], name=name, discarded=by_leaf[-1])
+
+
+def jordan_wigner(n_modes: int) -> FermionQubitMapping:
+    """Jordan–Wigner: ``M_2j = Z_{j-1}…Z_0 X_j``, ``M_2j+1 = Z_{j-1}…Z_0 Y_j``."""
+    mapping = mapping_from_tree(jw_tree(n_modes), "JW", vacuum=True)
+    return mapping
+
+
+def parity_mapping(n_modes: int) -> FermionQubitMapping:
+    """Parity transform: running occupation parity lives on qubit ``j``."""
+    return mapping_from_tree(parity_tree(n_modes), "Parity", vacuum=True)
+
+
+def balanced_ternary_tree(n_modes: int) -> FermionQubitMapping:
+    """Balanced ternary tree (BTT) of [Jiang et al. 2020] with vacuum pairing."""
+    return mapping_from_tree(balanced_tree(n_modes), "BTT", vacuum=True)
+
+
+# ----------------------------------------------------------------------
+# Bravyi–Kitaev via Fenwick-tree index sets
+# ----------------------------------------------------------------------
+def fenwick_sets(n_modes: int) -> list[tuple[set[int], set[int], set[int]]]:
+    """Per-mode ``(update, parity, rho)`` qubit sets of the BK transform.
+
+    Using 1-based Fenwick (binary indexed tree) arithmetic on ``i = j + 1``:
+
+    * update set U(j): strict ancestors ``i + lowbit(i)`` chains (≤ n),
+    * parity set P(j): the prefix [0, j) decomposition, descent ``i - lowbit(i)``,
+    * flip set  F(j): direct children ``i - 2^t`` for ``2^t < lowbit(i)``,
+    * rho set   R(j) = P(j) \\ F(j) (classic BK: equals P(j) for even j).
+
+    All returned sets use 0-based qubit indices.
+    """
+    n = n_modes
+    sets = []
+    for j in range(n):
+        i = j + 1
+        update = set()
+        k = i + (i & -i)
+        while k <= n:
+            update.add(k - 1)
+            k += k & -k
+        parity = set()
+        k = j
+        while k > 0:
+            parity.add(k - 1)
+            k -= k & -k
+        flip = set()
+        t = 1
+        while t < (i & -i):
+            flip.add(i - t - 1)
+            t <<= 1
+        rho = parity - flip
+        sets.append((update, parity, rho))
+    return sets
+
+
+def bravyi_kitaev(n_modes: int) -> FermionQubitMapping:
+    """Bravyi–Kitaev: ``M_2j = X_U(j) X_j Z_P(j)``, ``M_2j+1 = X_U(j) Y_j Z_R(j)``."""
+    strings: list[PauliString] = []
+    for j, (update, parity, rho) in enumerate(fenwick_sets(n_modes)):
+        even_ops = {q: "X" for q in update}
+        even_ops.update({q: "Z" for q in parity})
+        even_ops[j] = "X"
+        odd_ops = {q: "X" for q in update}
+        odd_ops.update({q: "Z" for q in rho})
+        odd_ops[j] = "Y"
+        strings.append(PauliString.from_ops(even_ops, n_modes))
+        strings.append(PauliString.from_ops(odd_ops, n_modes))
+    return FermionQubitMapping(strings, name="BK")

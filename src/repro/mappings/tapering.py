@@ -1,0 +1,195 @@
+"""Z2-symmetry qubit tapering [Bravyi–Gambetta–Mezzacapo–Temme 2017].
+
+The paper's related-work section positions tapering ("parity mapping [4]")
+as a compatible post-mapping optimization; this module implements it so the
+library covers the full mapping-optimization toolchain:
+
+1. :func:`find_z2_symmetries` — Pauli strings commuting with *every* term of
+   the qubit Hamiltonian (the GF(2) kernel of the term matrix under the
+   symplectic form), excluding the identity;
+2. :func:`taper` — conjugate by the Clifford ``U_i = (X_{q_i} + τ_i)/√2``
+   per symmetry, which maps ``τ_i`` onto the single-qubit ``X_{q_i}``; every
+   Hamiltonian term then acts as I or X on the pivot, so the pivot qubit is
+   replaced by its ±1 eigenvalue (the symmetry sector) and removed.
+
+Tapering composes with any fermion-to-qubit mapping produced by this
+library (JW/BK/BTT/HATT/FH alike).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..paulis import PauliString, QubitOperator
+
+__all__ = ["find_z2_symmetries", "taper", "TaperedOperator", "sector_of_state"]
+
+
+def _kernel_basis(rows: list[int], width: int) -> list[int]:
+    """Basis of the GF(2) null space of the row space ``rows`` (bitmask form):
+    vectors v with popcount(row & v) even for every row."""
+    # Gaussian elimination to row-echelon form, tracking pivot columns.
+    echelon: list[int] = []
+    pivots: list[int] = []
+    for row in rows:
+        for e, p in zip(echelon, pivots):
+            if (row >> p) & 1:
+                row ^= e
+        if row:
+            pivot = row.bit_length() - 1
+            echelon.append(row)
+            pivots.append(pivot)
+    free = [c for c in range(width) if c not in pivots]
+    basis = []
+    for f in free:
+        v = 1 << f
+        # Back-substitute to satisfy every echelon row.
+        for e, p in sorted(zip(echelon, pivots), key=lambda t: t[1]):
+            if (e & v).bit_count() % 2 == 1:
+                v ^= 1 << p
+        basis.append(v)
+    return basis
+
+
+def find_z2_symmetries(op: QubitOperator) -> list[PauliString]:
+    """Independent, pairwise-commuting Pauli symmetries of ``op``.
+
+    A candidate τ = (xt, zt) commutes with term (x, z) iff
+    popcount(x·zt) + popcount(z·xt) is even — i.e. τ's *swapped* symplectic
+    vector lies in the kernel of the term matrix.
+    """
+    n = op.n
+    rows = [x | (z << n) for x, z, _ in op.raw_terms()]
+    mask = (1 << n) - 1
+    symmetries: list[PauliString] = []
+    for v in _kernel_basis(rows, 2 * n):
+        # v = (a | b<<n) pairs with terms as popcount(x·a + z·b); the Pauli τ
+        # with x-part b and z-part a satisfies the commutation condition.
+        tau = PauliString(n, (v >> n) & mask, v & mask)
+        if tau.is_identity:
+            continue
+        if all(tau.commutes_with(s) for s in symmetries):
+            symmetries.append(tau)
+    return symmetries
+
+
+@dataclass
+class TaperedOperator:
+    """Result of tapering: the reduced operator plus bookkeeping."""
+
+    operator: QubitOperator
+    pivots: list[int]  # removed qubit per symmetry (original indexing)
+    symmetries: list[PauliString]
+    sector: tuple[int, ...]
+
+
+def _conjugate_by_u(op: QubitOperator, a: PauliString, b: PauliString) -> QubitOperator:
+    """U H U with U = (A + B)/√2 (A, B Hermitian, anticommuting)."""
+    u = QubitOperator.from_terms([(a, 2 ** -0.5), (b, 2 ** -0.5)])
+    return (u * op * u).simplify()
+
+
+def _drop_qubit(
+    op: QubitOperator, q: int, eigenvalue: int, axis: str
+) -> QubitOperator:
+    """Replace the ``axis`` operator (or I) on ``q`` by ``eigenvalue`` and
+    delete qubit ``q``.  ``axis`` is 'X' or 'Z' — the single-qubit image of
+    the tapered symmetry."""
+    low = (1 << q) - 1
+    out = QubitOperator(op.n - 1)
+    forbidden = "z" if axis == "X" else "x"
+    for x, z, coeff in op.raw_terms():
+        bad = (z if forbidden == "z" else x) >> q & 1
+        if bad:
+            raise ValueError(
+                f"term has a non-{axis} operator on pivot qubit {q}; the "
+                "operator does not commute with the symmetry"
+            )
+        hit = (x if axis == "X" else z) >> q & 1
+        if hit:
+            coeff = coeff * eigenvalue
+        new_x = (x & low) | ((x >> (q + 1)) << q)
+        new_z = (z & low) | ((z >> (q + 1)) << q)
+        out.add_raw(new_x, new_z, coeff)
+    return out.simplify()
+
+
+def sector_of_state(symmetries: list[PauliString], bits: int) -> tuple[int, ...]:
+    """±1 eigenvalues of Z-type symmetries on basis state ``|bits⟩``.
+
+    Raises if a symmetry has X/Y support (no definite eigenvalue on a
+    computational basis state).
+    """
+    sector = []
+    for tau in symmetries:
+        if tau.x:
+            raise ValueError(f"{tau!r} is not diagonal; pick the sector manually")
+        sign = (-1) ** ((tau.z & bits).bit_count() + (1 if tau.phase == 2 else 0))
+        sector.append(int(sign))
+    return tuple(sector)
+
+
+def taper(
+    op: QubitOperator,
+    symmetries: list[PauliString] | None = None,
+    sector: tuple[int, ...] | None = None,
+) -> TaperedOperator:
+    """Remove one qubit per Z2 symmetry.
+
+    ``sector`` selects the ±1 eigenvalue of each symmetry (default all +1);
+    the spectrum of the returned operator is the restriction of ``op`` to
+    that symmetry sector.
+    """
+    if symmetries is None:
+        symmetries = find_z2_symmetries(op)
+    if sector is None:
+        sector = tuple(1 for _ in symmetries)
+    if len(sector) != len(symmetries):
+        raise ValueError("need one sector eigenvalue per symmetry")
+    if not symmetries:
+        return TaperedOperator(op.copy(), [], [], ())
+
+    n = op.n
+    current = op.copy()
+    taus = list(symmetries)
+    pivots: list[int] = []
+    axes: list[str] = []
+    for i, tau in enumerate(taus):
+        # Pivot: a support qubit not yet used.  The rotation axis is a
+        # single-qubit Pauli anticommuting with tau's operator there:
+        # X_q against Z/Y, Z_q against a pure X.
+        z_candidates = [
+            q for q in range(n) if (tau.z >> q) & 1 and q not in pivots
+        ]
+        x_candidates = [
+            q
+            for q in range(n)
+            if (tau.x >> q) & 1 and not (tau.z >> q) & 1 and q not in pivots
+        ]
+        if z_candidates:
+            q, axis = z_candidates[0], "X"
+        elif x_candidates:
+            q, axis = x_candidates[0], "Z"
+        else:
+            raise ValueError(f"symmetry {tau!r} has no usable pivot qubit")
+        pivots.append(q)
+        axes.append(axis)
+        axis_pauli = PauliString.single(n, q, axis)
+        hermitian_tau = tau if tau.is_hermitian else tau.with_phase(0)
+        current = _conjugate_by_u(current, axis_pauli, hermitian_tau)
+        # Conjugate the remaining symmetries into the new frame too.
+        for j in range(i + 1, len(taus)):
+            conj = _conjugate_by_u(
+                QubitOperator.from_terms([(taus[j], 1.0)]), axis_pauli, hermitian_tau
+            )
+            ((x, z, c),) = list(conj.raw_terms())
+            taus[j] = PauliString(n, x, z, 0 if c.real > 0 else 2)
+
+    # Drop pivots from highest index down so indices stay valid.
+    reduced = current
+    order = sorted(range(len(pivots)), key=lambda i: -pivots[i])
+    for i in order:
+        reduced = _drop_qubit(reduced, pivots[i], sector[i], axes[i])
+    return TaperedOperator(
+        operator=reduced, pivots=pivots, symmetries=list(symmetries), sector=sector
+    )

@@ -1,0 +1,99 @@
+"""Collective neutrino oscillation Hamiltonians (paper §V-A benchmark 3).
+
+The paper formulates the many-body flavor-evolution Hamiltonian on a 1D
+momentum lattice:
+
+    Hν = Σ_i Σ_a sqrt(p_i² + m_a²) a†_{a,i} a_{a,i}
+       + Σ_{i1,i2,i3} Σ_{a,b} C_{i1,i2,i3} a†_{a,i1} a_{a,i3} a†_{b,i2} a_{b,i4}
+
+with momentum conservation ``i1 + i2 = i3 + i4`` and the forward-scattering
+coupling ``C = μ·(p_{i2} - p_{i1})·(p_{i4} - p_{i3})``.
+
+Mode accounting: the paper's Table III cases ``N×2F``/``N×3F`` carry
+``2·N·F`` modes (e.g. 3×2F → 12), i.e. each (momentum, flavor) pair is
+doubled.  We realize the doubling as a neutrino/antineutrino sector index, the
+natural two-component structure of the many-body flavor problem (Patwardhan
+et al.).  Forward scattering couples all sector pairs (νν, ν̄ν̄, and the
+νν̄ cross terms); with the cross terms included our Pauli weights land within
+a few per cent of the paper's Table III on the 2-flavor cases and preserve
+its mapping ordering everywhere (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..fermion import FermionOperator
+
+__all__ = ["collective_neutrino", "neutrino_case"]
+
+
+def collective_neutrino(
+    n_momenta: int,
+    n_flavors: int,
+    mu: float = 0.1,
+    p_spacing: float = 1.0,
+    masses: list[float] | None = None,
+) -> FermionOperator:
+    """Build the collective-oscillation Hamiltonian on ``2·n_momenta·n_flavors`` modes.
+
+    Mode layout: ``mode = sector·(N·F) + momentum·F + flavor`` with
+    ``sector ∈ {0 (ν), 1 (ν̄)}``.
+    """
+    if n_momenta < 1 or n_flavors < 1:
+        raise ValueError("need at least one momentum mode and one flavor")
+    if masses is None:
+        masses = [0.1 * (a + 1) for a in range(n_flavors)]
+    if len(masses) != n_flavors:
+        raise ValueError("need one mass per flavor")
+    n, f = n_momenta, n_flavors
+    momenta = [p_spacing * (i + 1) for i in range(n)]
+
+    def mode(sector: int, i: int, a: int) -> int:
+        return sector * n * f + i * f + a
+
+    h = FermionOperator()
+    # Kinetic term: relativistic dispersion per (sector, momentum, flavor) mode.
+    for sector in (0, 1):
+        for i in range(n):
+            for a in range(f):
+                energy = math.sqrt(momenta[i] ** 2 + masses[a] ** 2)
+                h = h + FermionOperator.number(mode(sector, i, a), energy)
+    # Two-body forward scattering with momentum conservation, over all sector
+    # pairs (the νν̄ cross terms are part of the collective Hamiltonian).
+    for s1, s2 in ((0, 0), (1, 1), (0, 1), (1, 0)):
+        for i1 in range(n):
+            for i2 in range(n):
+                for i3 in range(n):
+                    i4 = i1 + i2 - i3
+                    if not 0 <= i4 < n:
+                        continue
+                    coupling = mu * (momenta[i2] - momenta[i1]) * (
+                        momenta[i4] - momenta[i3]
+                    )
+                    if coupling == 0.0:
+                        continue
+                    for a in range(f):
+                        for b in range(f):
+                            h = h + FermionOperator.from_term(
+                                [
+                                    (mode(s1, i1, a), True),
+                                    (mode(s1, i3, a), False),
+                                    (mode(s2, i2, b), True),
+                                    (mode(s2, i4, b), False),
+                                ],
+                                coupling,
+                            )
+    return h
+
+
+_CASE_RE = re.compile(r"^(\d+)\s*[x×]\s*(\d+)\s*F$", re.IGNORECASE)
+
+
+def neutrino_case(label: str, mu: float = 0.1) -> FermionOperator:
+    """Parse a Table III case label such as ``"3x2F"`` or ``"5×3F"``."""
+    m = _CASE_RE.match(label.strip())
+    if not m:
+        raise ValueError(f"cannot parse neutrino case {label!r}")
+    return collective_neutrino(int(m.group(1)), int(m.group(2)), mu=mu)

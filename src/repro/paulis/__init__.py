@@ -1,0 +1,17 @@
+"""Pauli algebra substrate: strings, sums, and raw symplectic helpers."""
+
+from .algebra import BITS_TO_OP, OP_TO_BITS, commutes, mul_xzk, phase_of_product, weight
+from .pauli import PauliString, pauli_strings_anticommute_pairwise
+from .pauli_sum import QubitOperator
+
+__all__ = [
+    "PauliString",
+    "QubitOperator",
+    "pauli_strings_anticommute_pairwise",
+    "mul_xzk",
+    "phase_of_product",
+    "commutes",
+    "weight",
+    "OP_TO_BITS",
+    "BITS_TO_OP",
+]

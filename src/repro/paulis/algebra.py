@@ -1,0 +1,80 @@
+"""Low-level symplectic Pauli algebra on raw ``(x, z, k)`` triples.
+
+A Pauli string on ``n`` qubits is represented by two integer bitmasks and a
+phase exponent:
+
+* ``x`` — bit ``j`` set iff the operator on qubit ``j`` has an X component,
+* ``z`` — bit ``j`` set iff the operator on qubit ``j`` has a Z component,
+* ``k`` — phase exponent modulo 4; the represented operator is
+  ``i**k * (O_{n-1} ⊗ … ⊗ O_0)`` with the *canonical* single-qubit operators
+
+  ====  ====  ========
+  x_j   z_j   operator
+  ====  ====  ========
+  0     0     I
+  1     0     X
+  1     1     Y
+  0     1     Z
+  ====  ====  ========
+
+These free functions are the hot path shared by :class:`~repro.paulis.PauliString`
+and the bulk mapping application in :mod:`repro.mappings.apply`; they avoid
+object construction entirely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mul_xzk",
+    "phase_of_product",
+    "commutes",
+    "weight",
+    "OP_TO_BITS",
+    "BITS_TO_OP",
+]
+
+# Canonical operator letter <-> (x, z) bit pair.
+OP_TO_BITS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+BITS_TO_OP = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+
+def mul_xzk(x1: int, z1: int, k1: int, x2: int, z2: int, k2: int) -> tuple[int, int, int]:
+    """Multiply two Pauli strings given as ``(x, z, k)`` triples.
+
+    Derivation: with ``Y = i·X·Z`` the canonical tensor product equals
+    ``i**g · X^x Z^z`` where ``g = popcount(x & z)``.  Commuting ``X^{x2}``
+    through ``Z^{z1}`` contributes ``(-1)**popcount(z1 & x2)``.
+    """
+    x3 = x1 ^ x2
+    z3 = z1 ^ z2
+    k3 = (
+        k1
+        + k2
+        + (x1 & z1).bit_count()
+        + (x2 & z2).bit_count()
+        + 2 * (z1 & x2).bit_count()
+        - (x3 & z3).bit_count()
+    ) & 3
+    return x3, z3, k3
+
+
+def phase_of_product(x1: int, z1: int, x2: int, z2: int) -> int:
+    """Phase exponent (mod 4) of the product of two phase-0 Pauli strings."""
+    x3 = x1 ^ x2
+    z3 = z1 ^ z2
+    return (
+        (x1 & z1).bit_count()
+        + (x2 & z2).bit_count()
+        + 2 * (z1 & x2).bit_count()
+        - (x3 & z3).bit_count()
+    ) & 3
+
+
+def commutes(x1: int, z1: int, x2: int, z2: int) -> bool:
+    """True iff the two Pauli strings commute (symplectic inner product 0)."""
+    return ((x1 & z2).bit_count() + (z1 & x2).bit_count()) % 2 == 0
+
+
+def weight(x: int, z: int) -> int:
+    """Pauli weight: number of non-identity single-qubit operators."""
+    return (x | z).bit_count()

@@ -1,0 +1,261 @@
+"""Immutable Pauli strings with exact phase tracking.
+
+A :class:`PauliString` is ``i**phase`` times a tensor product of canonical
+single-qubit Pauli operators.  Qubit 0 is the least-significant position; the
+text label lists operators from qubit ``n-1`` (leftmost) down to qubit 0
+(rightmost), matching the paper's ``XYIZ = X3 Y2 Z0`` convention.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .algebra import BITS_TO_OP, OP_TO_BITS, commutes, mul_xzk, weight
+
+__all__ = ["PauliString"]
+
+_PHASE_STR = {0: "", 1: "i*", 2: "-", 3: "-i*"}
+_PHASE_VALUE = {0: 1, 1: 1j, 2: -1, 3: -1j}
+
+_SINGLE_QUBIT_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_COMPACT_RE = re.compile(r"([XYZ])(\d+)")
+
+
+class PauliString:
+    """An ``n``-qubit Pauli string ``i**phase · O_{n-1} ⊗ … ⊗ O_0``.
+
+    Instances are immutable and hashable.  Multiplication, commutation checks
+    and weight queries run on integer bitmasks (see :mod:`repro.paulis.algebra`).
+    """
+
+    __slots__ = ("n", "x", "z", "phase")
+
+    def __init__(self, n: int, x: int = 0, z: int = 0, phase: int = 0):
+        if n < 0:
+            raise ValueError(f"number of qubits must be non-negative, got {n}")
+        mask = (1 << n) - 1
+        if x & ~mask or z & ~mask:
+            raise ValueError("x/z masks have bits outside the qubit range")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "z", z)
+        object.__setattr__(self, "phase", phase & 3)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("PauliString is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "PauliString":
+        """The identity string on ``n`` qubits."""
+        return cls(n)
+
+    @classmethod
+    def from_label(cls, label: str, phase: int = 0) -> "PauliString":
+        """Parse a dense label such as ``"XYIZ"`` (leftmost = highest qubit)."""
+        n = len(label)
+        x = z = 0
+        for pos, ch in enumerate(label):
+            qubit = n - 1 - pos
+            try:
+                xb, zb = OP_TO_BITS[ch]
+            except KeyError:
+                raise ValueError(f"invalid Pauli letter {ch!r} in {label!r}") from None
+            x |= xb << qubit
+            z |= zb << qubit
+        return cls(n, x, z, phase)
+
+    @classmethod
+    def from_compact(cls, compact: str, n: int, phase: int = 0) -> "PauliString":
+        """Parse a compact label such as ``"X3Y2Z0"`` on ``n`` qubits."""
+        stripped = compact.replace(" ", "")
+        if stripped in ("", "I"):
+            return cls(n, phase=phase)
+        consumed = "".join(m.group(0) for m in _COMPACT_RE.finditer(stripped))
+        if consumed != stripped:
+            raise ValueError(f"cannot parse compact Pauli label {compact!r}")
+        x = z = 0
+        seen = set()
+        for m in _COMPACT_RE.finditer(stripped):
+            op, qubit = m.group(1), int(m.group(2))
+            if qubit >= n:
+                raise ValueError(f"qubit {qubit} out of range for n={n}")
+            if qubit in seen:
+                raise ValueError(f"qubit {qubit} appears twice in {compact!r}")
+            seen.add(qubit)
+            xb, zb = OP_TO_BITS[op]
+            x |= xb << qubit
+            z |= zb << qubit
+        return cls(n, x, z, phase)
+
+    @classmethod
+    def from_ops(cls, ops: Mapping[int, str], n: int, phase: int = 0) -> "PauliString":
+        """Build from a ``{qubit: letter}`` mapping."""
+        x = z = 0
+        for qubit, op in ops.items():
+            if not 0 <= qubit < n:
+                raise ValueError(f"qubit {qubit} out of range for n={n}")
+            xb, zb = OP_TO_BITS[op]
+            x |= xb << qubit
+            z |= zb << qubit
+        return cls(n, x, z, phase)
+
+    @classmethod
+    def single(cls, n: int, qubit: int, op: str, phase: int = 0) -> "PauliString":
+        """A single non-identity operator ``op`` acting on ``qubit``."""
+        return cls.from_ops({qubit: op}, n, phase)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def op_at(self, qubit: int) -> str:
+        """Canonical operator letter on ``qubit``."""
+        return BITS_TO_OP[((self.x >> qubit) & 1, (self.z >> qubit) & 1)]
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity single-qubit operators."""
+        return weight(self.x, self.z)
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Qubits carrying a non-identity operator, ascending."""
+        mask = self.x | self.z
+        return tuple(q for q in range(self.n) if (mask >> q) & 1)
+
+    @property
+    def phase_value(self) -> complex:
+        """The scalar ``i**phase`` as a Python complex."""
+        return _PHASE_VALUE[self.phase]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.x == 0 and self.z == 0
+
+    @property
+    def is_hermitian(self) -> bool:
+        """True iff the string equals its adjoint (phase is ±1)."""
+        return self.phase % 2 == 0
+
+    def ops(self) -> Iterator[tuple[int, str]]:
+        """Yield ``(qubit, letter)`` for each non-identity position, ascending."""
+        mask = self.x | self.z
+        q = 0
+        while mask:
+            if mask & 1:
+                yield q, self.op_at(q)
+            mask >>= 1
+            q += 1
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        if self.n != other.n:
+            raise ValueError("cannot multiply Pauli strings on different qubit counts")
+        x, z, k = mul_xzk(self.x, self.z, self.phase, other.x, other.z, other.phase)
+        return PauliString(self.n, x, z, k)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        if self.n != other.n:
+            raise ValueError("qubit count mismatch")
+        return commutes(self.x, self.z, other.x, other.z)
+
+    def anticommutes_with(self, other: "PauliString") -> bool:
+        return not self.commutes_with(other)
+
+    def adjoint(self) -> "PauliString":
+        """Hermitian adjoint (canonical operators are Hermitian; conjugate phase)."""
+        return PauliString(self.n, self.x, self.z, (-self.phase) & 3)
+
+    def with_phase(self, phase: int) -> "PauliString":
+        """Copy with the phase exponent replaced."""
+        return PauliString(self.n, self.x, self.z, phase)
+
+    def tensor(self, other: "PauliString") -> "PauliString":
+        """``self ⊗ other`` — ``other`` occupies the low qubits."""
+        return PauliString(
+            self.n + other.n,
+            (self.x << other.n) | other.x,
+            (self.z << other.n) | other.z,
+            self.phase + other.phase,
+        )
+
+    # ------------------------------------------------------------------
+    # Dense matrix (tests / tiny systems only)
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n × 2^n`` matrix.  Intended for n ≲ 12 (tests)."""
+        result = np.array([[1.0 + 0j]])
+        for qubit in range(self.n - 1, -1, -1):
+            result = np.kron(result, _SINGLE_QUBIT_MATRICES[self.op_at(qubit)])
+        return _PHASE_VALUE[self.phase] * result
+
+    def apply_to_basis_state(self, bits: int) -> tuple[int, complex]:
+        """Apply to computational basis state ``|bits⟩``.
+
+        Returns ``(new_bits, amplitude)`` such that ``P|bits⟩ = amplitude·|new_bits⟩``.
+        X flips the bit; Z contributes ``(-1)^bit``; Y flips with ``±i``.
+        """
+        amp: complex = _PHASE_VALUE[self.phase]
+        # Z (and the Z component of Y) phases are read off the *input* bit for
+        # the canonical convention Y|0> = i|1>, Y|1> = -i|0>.
+        y_mask = self.x & self.z
+        z_only = self.z & ~self.x
+        neg = (z_only & bits).bit_count()
+        # Y on bit b: amplitude i·(-1)^b  (since Y = i X Z and Z acts first).
+        neg += (y_mask & bits).bit_count()
+        amp *= (-1) ** neg
+        amp *= 1j ** (y_mask.bit_count() % 4)
+        return bits ^ self.x, amp
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.x == other.x
+            and self.z == other.z
+            and self.phase == other.phase
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.x, self.z, self.phase))
+
+    def label(self) -> str:
+        """Dense label, leftmost = qubit ``n-1`` (no phase prefix)."""
+        return "".join(self.op_at(q) for q in range(self.n - 1, -1, -1))
+
+    def compact(self) -> str:
+        """Compact label such as ``X3Y2Z0`` (``I`` for identity, no phase)."""
+        parts = [f"{op}{q}" for q, op in self.ops()]
+        return "".join(reversed(parts)) or "I"
+
+    def __repr__(self) -> str:
+        return f"{_PHASE_STR[self.phase]}{self.label()}"
+
+
+def pauli_strings_anticommute_pairwise(strings: Iterable[PauliString]) -> bool:
+    """Check that every distinct pair in ``strings`` anticommutes."""
+    items = list(strings)
+    return all(
+        items[i].anticommutes_with(items[j])
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    )

@@ -1,0 +1,29 @@
+"""Simulation substrate: statevector, noise models, state preparation."""
+
+from .measurement import (
+    EnergyEstimate,
+    MeasurementGroup,
+    basis_rotation_circuit,
+    estimate_energy,
+    qubitwise_commuting_groups,
+    sample_bitstrings,
+)
+from .noise import NoiseModel, NoisyResult, ionq_forte_noise_model, noisy_expectations
+from .state_prep import occupation_state_circuit, occupation_statevector
+from .statevector import Statevector
+
+__all__ = [
+    "Statevector",
+    "NoiseModel",
+    "NoisyResult",
+    "ionq_forte_noise_model",
+    "noisy_expectations",
+    "occupation_state_circuit",
+    "occupation_statevector",
+    "EnergyEstimate",
+    "MeasurementGroup",
+    "estimate_energy",
+    "qubitwise_commuting_groups",
+    "basis_rotation_circuit",
+    "sample_bitstrings",
+]

@@ -1,0 +1,47 @@
+"""Occupation-state preparation for vacuum-preserving mappings.
+
+For any mapping with ``a_j |0…0⟩ = 0``, the creation operator acts on the
+vacuum as ``a†_j |vac⟩ = S_2j |vac⟩`` up to phase (the ``S_2j+1`` half of the
+pair reproduces the same basis state).  Hence the Hartree–Fock determinant
+``Π_{j∈occ} a†_j |vac⟩`` is prepared by applying the Pauli gates of the even
+Majorana strings of every occupied mode — a mapping-dependent cost, which is
+one of the reasons vacuum-state preservation matters (paper §IV-A).
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import Circuit
+from ..mappings.base import FermionQubitMapping
+from .statevector import Statevector
+
+__all__ = ["occupation_state_circuit", "occupation_statevector"]
+
+
+def occupation_state_circuit(
+    mapping: FermionQubitMapping, occupied: list[int]
+) -> Circuit:
+    """Circuit preparing the occupation-number state with ``occupied`` modes.
+
+    Requires a vacuum-preserving mapping.  Gates are the X/Y/Z factors of
+    ``S_2j`` for each occupied mode (global phase ignored).
+    """
+    if not mapping.preserves_vacuum():
+        raise ValueError(
+            f"mapping {mapping.name!r} does not preserve the vacuum state; "
+            "occupation states cannot be prepared by Pauli gates alone"
+        )
+    circuit = Circuit(mapping.n_qubits)
+    for mode in occupied:
+        if not 0 <= mode < mapping.n_modes:
+            raise ValueError(f"mode {mode} out of range")
+        for q, op in mapping.majorana(2 * mode).ops():
+            circuit.add(op.lower(), q)
+    return circuit
+
+
+def occupation_statevector(
+    mapping: FermionQubitMapping, occupied: list[int]
+) -> Statevector:
+    """The prepared state as a statevector."""
+    state = Statevector(mapping.n_qubits)
+    return state.apply_circuit(occupation_state_circuit(mapping, occupied))

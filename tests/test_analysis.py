@@ -1,0 +1,97 @@
+"""Tests for the evaluation pipeline and noisy-experiment harness."""
+
+import pytest
+
+from repro.analysis import (
+    EnergyExperiment,
+    MappingReport,
+    compare_mappings,
+    evaluate_mapping,
+    format_table,
+    noisy_energy_experiment,
+    standard_mappings,
+)
+from repro.hatt import hatt_mapping
+from repro.mappings import jordan_wigner
+from repro.models import fermi_hubbard
+from repro.models.electronic import electronic_case
+from repro.sim import NoiseModel
+
+
+class TestEvaluate:
+    def test_weight_only(self):
+        h = fermi_hubbard(1, 2)
+        report = evaluate_mapping(h, jordan_wigner(4), compile_circuit=False)
+        assert report.pauli_weight == 20
+        assert report.cx_count is None
+
+    def test_with_circuit(self):
+        h = fermi_hubbard(1, 2)
+        report = evaluate_mapping(h, jordan_wigner(4))
+        assert report.cx_count > 0
+        assert report.depth > 0
+        assert report.u3_count > 0
+
+    def test_grouped_synthesis(self):
+        h = fermi_hubbard(1, 2)
+        naive = evaluate_mapping(h, jordan_wigner(4), synthesis="naive")
+        grouped = evaluate_mapping(h, jordan_wigner(4), synthesis="grouped")
+        assert grouped.pauli_weight == naive.pauli_weight
+        assert grouped.cx_count > 0
+
+    def test_unknown_synthesis(self):
+        with pytest.raises(ValueError):
+            evaluate_mapping(fermi_hubbard(1, 2), jordan_wigner(4), synthesis="magic")
+
+    def test_standard_mappings(self):
+        maps = standard_mappings(4)
+        assert set(maps) == {"JW", "BK", "BTT"}
+        maps = standard_mappings(4, include_parity=True)
+        assert "Parity" in maps
+
+    def test_compare_includes_hatt(self):
+        h = fermi_hubbard(1, 2)
+        reports = compare_mappings(h, 4, compile_circuit=False, include_unopt=True)
+        assert set(reports) == {"JW", "BK", "BTT", "HATT", "HATT-unopt"}
+        assert reports["HATT"].pauli_weight <= reports["JW"].pauli_weight
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table("T", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "333" in out
+        # All data lines aligned to the same width.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_report_row(self):
+        r = MappingReport("JW", 4, 20, 12)
+        assert r.row() == ["JW", 20, "-", "-"]
+
+
+class TestNoisyExperiment:
+    def test_h2_bias_ordering(self):
+        """More noise -> more bias; HATT cx-count ≤ JW cx-count on H2."""
+        case = electronic_case("H2_sto3g")
+        jw = jordan_wigner(4)
+        quiet = noisy_energy_experiment(
+            case, jw, NoiseModel(p1=1e-5, p2=1e-4), shots=60, seed=3
+        )
+        loud = noisy_energy_experiment(
+            case, jw, NoiseModel(p1=1e-2, p2=1e-1), shots=60, seed=3
+        )
+        assert isinstance(quiet, EnergyExperiment)
+        assert loud.bias >= quiet.bias
+        hatt = hatt_mapping(case.hamiltonian, n_modes=4)
+        e = noisy_energy_experiment(case, hatt, NoiseModel(), shots=1)
+        assert e.cx_count <= loud.cx_count
+
+    def test_noiseless_close_to_scf(self):
+        """Small Trotter time: noiseless energy ≈ SCF energy (energy is
+        conserved up to Trotter error)."""
+        case = electronic_case("H2_sto3g")
+        exp = noisy_energy_experiment(
+            case, jordan_wigner(4), NoiseModel(), shots=1, trotter_time=0.05
+        )
+        assert exp.noiseless == pytest.approx(case.scf_energy, abs=0.02)

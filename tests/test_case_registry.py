@@ -1,0 +1,70 @@
+"""Coverage for the remaining benchmark-case registry paths."""
+
+import pytest
+
+from repro.mappings import jordan_wigner
+from repro.models.electronic import ELECTRONIC_CASES, electronic_case
+
+
+class TestH2631G:
+    def test_mode_count(self):
+        case = electronic_case("H2_631g")
+        assert case.n_modes == 8  # 2 H atoms × 2 contracted s functions × 2 spins
+
+    def test_energy_below_sto3g(self):
+        sto = electronic_case("H2_sto3g")
+        big = electronic_case("H2_631g")
+        assert big.scf_energy < sto.scf_energy
+
+    def test_valid_hermitian_hamiltonian(self):
+        case = electronic_case("H2_631g")
+        hq = jordan_wigner(8).map(case.hamiltonian)
+        assert hq.is_hermitian()
+        assert hq.pauli_weight() > 0
+
+
+class TestFrozenCoreVariants:
+    @pytest.mark.parametrize(
+        "name,expected_modes",
+        [
+            ("NH_sto3g", 12),
+            ("NH_sto3g_frz", 10),
+            ("BeH2_sto3g", 14),
+            ("BeH2_sto3g_frz", 12),
+        ],
+    )
+    def test_mode_counts(self, name, expected_modes):
+        case = electronic_case(name)
+        assert case.n_modes == expected_modes
+
+    def test_frozen_energy_shift_in_core(self):
+        """Freezing moves energy into the scalar core term."""
+        full = electronic_case("BeH2_sto3g")
+        frz = electronic_case("BeH2_sto3g_frz")
+        assert abs(frz.core_energy) > abs(full.core_energy)
+        assert frz.n_electrons == full.n_electrons - 2
+
+    def test_registry_complete(self):
+        for name in ELECTRONIC_CASES:
+            mol, basis, freeze, active = ELECTRONIC_CASES[name]
+            assert basis in ("sto-3g", "6-31g")
+            assert freeze >= 0
+
+
+class TestHeavyHexProperties:
+    def test_connector_degree_is_two(self):
+        from repro.circuits import heavy_hex
+
+        g = heavy_hex(4, 9, 4)
+        n_row = 4 * 9
+        for node in g.nodes:
+            if node >= n_row:  # connector qubits
+                assert g.degree[node] == 2
+
+    def test_row_qubit_degree_bounded(self):
+        from repro.circuits import heavy_hex
+
+        g = heavy_hex(4, 9, 4)
+        n_row = 4 * 9
+        for node in range(n_row):
+            assert g.degree[node] <= 4  # path (2) + up/down connectors

@@ -1,0 +1,109 @@
+"""Tests for basis-set construction."""
+
+import numpy as np
+import pytest
+
+from repro.chem import atom_basis, build_basis, molecule, overlap_matrix, slater_zetas
+from repro.chem.basis import _EXPANSIONS, primitive_norm
+
+
+class TestExpansions:
+    def test_1s_matches_published_sto3g(self):
+        """Our fit must reproduce the published universal 1s expansion."""
+        alphas, d = _EXPANSIONS["1s"]
+        np.testing.assert_allclose(alphas, [2.227660584, 0.405771156, 0.109818], atol=2e-4)
+        np.testing.assert_allclose(d, [0.154328967, 0.535328142, 0.444634542], atol=1e-3)
+
+    def test_2sp_matches_published_sto3g(self):
+        alphas, ds = _EXPANSIONS["2s"]
+        _, dp = _EXPANSIONS["2p"]
+        np.testing.assert_allclose(alphas, [0.994203, 0.231031, 0.0751386], atol=2e-4)
+        np.testing.assert_allclose(ds, [-0.09996723, 0.39951283, 0.70011547], atol=1e-3)
+        np.testing.assert_allclose(dp, [0.15591627, 0.60768372, 0.39195739], atol=1e-3)
+
+    def test_hydrogen_exponents_scale_to_published(self):
+        """H STO-3G: zeta=1.24 scaling of the universal 1s expansion."""
+        fns = atom_basis("H", (0, 0, 0))
+        np.testing.assert_allclose(
+            fns[0].alphas, [3.42525091, 0.62391373, 0.16885540], atol=5e-4
+        )
+
+
+class TestZetas:
+    def test_hydrogen_special_case(self):
+        assert slater_zetas(1)["1s"] == pytest.approx(1.24)
+
+    def test_slater_rules_carbon(self):
+        z = slater_zetas(6)
+        assert z["1s"] == pytest.approx(5.70)
+        assert z["2sp"] == pytest.approx((6 - 1.7 - 1.05) / 2)
+
+    def test_slater_rules_sodium_has_3sp(self):
+        z = slater_zetas(11)
+        assert z["3sp"] == pytest.approx((11 - 2.0 - 6.8) / 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            slater_zetas(20)
+
+
+class TestBasisBuild:
+    def test_function_counts(self):
+        assert len(atom_basis("H", (0, 0, 0))) == 1
+        assert len(atom_basis("C", (0, 0, 0))) == 5  # 1s 2s 2px 2py 2pz
+        assert len(atom_basis("Na", (0, 0, 0))) == 9  # + 3s 3p
+
+    def test_naf_has_14_orbitals(self):
+        mol = molecule("NaF")
+        assert len(build_basis(mol.atoms)) == 14  # paper: 28 modes
+
+    def test_631g_hydrogen(self):
+        fns = atom_basis("H", (0, 0, 0), "6-31g")
+        assert len(fns) == 2
+        assert len(fns[0].alphas) == 3
+        assert len(fns[1].alphas) == 1
+
+    def test_631g_heavy_rejected(self):
+        with pytest.raises(ValueError):
+            atom_basis("C", (0, 0, 0), "6-31g")
+
+    def test_unknown_element_and_basis(self):
+        with pytest.raises(ValueError):
+            atom_basis("Xx", (0, 0, 0))
+        with pytest.raises(ValueError):
+            atom_basis("H", (0, 0, 0), "cc-pvdz")
+
+    def test_contracted_functions_normalized(self):
+        mol = molecule("H2O")
+        basis = build_basis(mol.atoms)
+        s = overlap_matrix(basis)
+        np.testing.assert_allclose(np.diag(s), 1.0, atol=1e-10)
+
+    def test_primitive_norm_s(self):
+        # For an s Gaussian: N = (2a/pi)^(3/4).
+        a = 0.7
+        assert primitive_norm(a, (0, 0, 0)) == pytest.approx((2 * a / np.pi) ** 0.75)
+
+    def test_primitive_norm_p(self):
+        a = 1.3
+        expected = (2 * a / np.pi) ** 0.75 * 2.0 * np.sqrt(a)
+        assert primitive_norm(a, (1, 0, 0)) == pytest.approx(expected)
+
+
+class TestMolecules:
+    def test_electron_counts(self):
+        assert molecule("H2").n_electrons == 2
+        assert molecule("H2O").n_electrons == 10
+        assert molecule("NaF").n_electrons == 20
+        assert molecule("CO2").n_electrons == 22
+
+    def test_unknown_molecule(self):
+        with pytest.raises(ValueError):
+            molecule("C60")
+
+    def test_geometry_in_bohr(self):
+        h2 = molecule("H2")
+        d = np.linalg.norm(
+            np.array(h2.atoms[0][1]) - np.array(h2.atoms[1][1])
+        )
+        assert d == pytest.approx(0.735 * 1.8897259886)

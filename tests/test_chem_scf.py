@@ -1,0 +1,121 @@
+"""Tests for RHF SCF, MO transformation, and active spaces."""
+
+import numpy as np
+import pytest
+
+from repro.chem import (
+    active_space_integrals,
+    build_basis,
+    molecule,
+    mo_integrals,
+    restricted_hartree_fock,
+)
+
+
+def run_scf(name, basis_name="sto-3g"):
+    mol = molecule(name)
+    basis = build_basis(mol.atoms, basis_name)
+    return restricted_hartree_fock(basis, mol.charges, mol.n_electrons)
+
+
+class TestEnergies:
+    def test_h2_sto3g(self):
+        """Published STO-3G H2 RHF ≈ -1.117 Ha near equilibrium."""
+        res = run_scf("H2")
+        assert res.converged
+        assert res.energy == pytest.approx(-1.117, abs=3e-3)
+
+    def test_h2_631g_below_sto3g(self):
+        """Bigger basis must lower the variational energy."""
+        sto = run_scf("H2").energy
+        big = run_scf("H2", "6-31g").energy
+        assert big < sto
+        assert big == pytest.approx(-1.1268, abs=5e-3)
+
+    def test_lih_sto3g(self):
+        res = run_scf("LiH")
+        assert res.converged
+        # Published STO-3G value ≈ -7.862; our Slater-rule ζ gives a few mHa off.
+        assert res.energy == pytest.approx(-7.86, abs=0.05)
+
+    def test_h2o_sto3g(self):
+        res = run_scf("H2O")
+        assert res.converged
+        # Published ≈ -74.963; Slater-rule ζ lands within ~0.5%.
+        assert res.energy == pytest.approx(-74.96, rel=5e-3)
+
+    def test_orbital_energies_sorted(self):
+        res = run_scf("LiH")
+        assert np.all(np.diff(res.mo_energies) >= -1e-10)
+
+    def test_odd_electron_count_rejected(self):
+        mol = molecule("H2")
+        basis = build_basis(mol.atoms)
+        with pytest.raises(ValueError):
+            restricted_hartree_fock(basis, mol.charges, 3)
+
+
+class TestMOIntegrals:
+    def test_energy_reconstruction_from_mo_integrals(self):
+        """E_HF = 2Σ_i h_ii + Σ_ij [2(ii|jj) − (ij|ji)] + E_nuc — a full
+        consistency check of the AO→MO transformation."""
+        res = run_scf("LiH")
+        h_mo, eri_mo = mo_integrals(res)
+        n_occ = res.n_electrons // 2
+        e = 2.0 * np.trace(h_mo[:n_occ, :n_occ])
+        for i in range(n_occ):
+            for j in range(n_occ):
+                e += 2.0 * eri_mo[i, i, j, j] - eri_mo[i, j, j, i]
+        assert e + res.nuclear_repulsion == pytest.approx(res.energy, abs=1e-7)
+
+    def test_mo_overlap_is_identity(self):
+        res = run_scf("H2O")
+        s_mo = res.mo_coeffs.T @ res.overlap @ res.mo_coeffs
+        np.testing.assert_allclose(s_mo, np.eye(s_mo.shape[0]), atol=1e-8)
+
+    def test_mo_eri_symmetric(self):
+        res = run_scf("H2")
+        _, eri = mo_integrals(res)
+        np.testing.assert_allclose(eri, eri.transpose(1, 0, 2, 3), atol=1e-10)
+        np.testing.assert_allclose(eri, eri.transpose(2, 3, 0, 1), atol=1e-10)
+
+
+class TestActiveSpace:
+    def test_no_freeze_is_identity(self):
+        res = run_scf("H2")
+        h_mo, eri_mo = mo_integrals(res)
+        space = active_space_integrals(
+            h_mo, eri_mo, res.nuclear_repulsion, 2, freeze=0
+        )
+        np.testing.assert_allclose(space.h, h_mo)
+        assert space.core_energy == pytest.approx(res.nuclear_repulsion)
+        assert space.n_electrons == 2
+
+    def test_freeze_all_recovers_scf_energy(self):
+        """Freezing every occupied orbital puts the whole HF energy in the core."""
+        res = run_scf("LiH")
+        h_mo, eri_mo = mo_integrals(res)
+        space = active_space_integrals(
+            h_mo, eri_mo, res.nuclear_repulsion, res.n_electrons,
+            freeze=res.n_electrons // 2,
+        )
+        assert space.n_electrons == 0
+        assert space.core_energy == pytest.approx(res.energy, abs=1e-8)
+
+    def test_overlapping_active_and_core_rejected(self):
+        res = run_scf("LiH")
+        h_mo, eri_mo = mo_integrals(res)
+        with pytest.raises(ValueError):
+            active_space_integrals(h_mo, eri_mo, 0.0, 4, freeze=1, active=[0, 2])
+
+    def test_too_many_electrons_rejected(self):
+        res = run_scf("LiH")
+        h_mo, eri_mo = mo_integrals(res)
+        with pytest.raises(ValueError):
+            active_space_integrals(h_mo, eri_mo, 0.0, 4, freeze=0, active=[1])
+
+    def test_over_freezing_rejected(self):
+        res = run_scf("H2")
+        h_mo, eri_mo = mo_integrals(res)
+        with pytest.raises(ValueError):
+            active_space_integrals(h_mo, eri_mo, 0.0, 2, freeze=2)

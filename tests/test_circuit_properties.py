@@ -1,0 +1,93 @@
+"""Property-based tests for circuit passes: optimization and routing never
+change semantics (up to global phase / output permutation)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    Gate,
+    cancel_adjacent,
+    fuse_single_qubit,
+    optimize,
+    route_circuit,
+    to_cx_u3,
+)
+from repro.sim import Statevector
+
+N_QUBITS = 3
+
+_GATE_POOL = ["h", "s", "sdg", "x", "y", "z", "t", "rz", "cx", "cz"]
+
+
+@st.composite
+def random_circuits(draw, n=N_QUBITS, max_gates=14):
+    length = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = Circuit(n)
+    for _ in range(length):
+        name = draw(st.sampled_from(_GATE_POOL))
+        if name in ("cx", "cz"):
+            q0 = draw(st.integers(0, n - 1))
+            q1 = draw(st.integers(0, n - 2))
+            if q1 >= q0:
+                q1 += 1
+            circuit.add(name, q0, q1)
+        elif name == "rz":
+            q = draw(st.integers(0, n - 1))
+            angle = draw(st.floats(-3.0, 3.0, allow_nan=False))
+            circuit.add(name, q, params=(angle,))
+        else:
+            circuit.add(name, draw(st.integers(0, n - 1)))
+    return circuit
+
+
+def phase_free_equal(a: np.ndarray, b: np.ndarray, atol=1e-8) -> bool:
+    phase = np.trace(a.conj().T @ b)
+    if abs(phase) < 1e-12:
+        return np.allclose(a, b, atol=atol)
+    b = b * (phase.conjugate() / abs(phase))
+    return np.allclose(a, b, atol=atol)
+
+
+@given(random_circuits())
+@settings(max_examples=60, deadline=None)
+def test_optimization_passes_preserve_unitary(circuit):
+    reference = circuit.to_matrix()
+    for pass_fn in (cancel_adjacent, fuse_single_qubit, optimize, to_cx_u3):
+        out = pass_fn(circuit)
+        assert phase_free_equal(out.to_matrix(), reference), pass_fn.__name__
+
+
+@given(random_circuits())
+@settings(max_examples=60, deadline=None)
+def test_optimization_never_increases_counts(circuit):
+    out = optimize(circuit)
+    assert out.cx_count <= circuit.cx_count
+    assert len(out) <= len(circuit) + circuit.n_qubits  # u3 fusion may split runs
+
+
+@given(random_circuits())
+@settings(max_examples=30, deadline=None)
+def test_routing_preserves_statevector_up_to_layout(circuit):
+    line = nx.path_graph(4)
+    routed = route_circuit(circuit, line)
+    for gate in routed.circuit.gates:
+        if gate.is_two_qubit:
+            assert line.has_edge(*gate.qubits)
+    reference = Statevector(N_QUBITS).apply_circuit(circuit)
+    hw = Statevector(4).apply_circuit(routed.circuit)
+    for bits in range(1 << N_QUBITS):
+        phys = 0
+        for logical in range(N_QUBITS):
+            if (bits >> logical) & 1:
+                phys |= 1 << routed.final_layout[logical]
+        assert abs(abs(hw.amplitudes[phys]) - abs(reference.amplitudes[bits])) < 1e-8
+
+
+@given(random_circuits())
+@settings(max_examples=40, deadline=None)
+def test_inverse_composes_to_identity(circuit):
+    u = circuit.compose(circuit.inverse()).to_matrix()
+    assert phase_free_equal(u, np.eye(1 << N_QUBITS))

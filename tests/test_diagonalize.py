@@ -1,0 +1,171 @@
+"""Tests for Clifford conjugation and simultaneous diagonalization."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import (
+    Circuit,
+    Gate,
+    conjugate_pauli,
+    conjugate_through_circuit,
+    diagonalizing_circuit,
+    group_commuting,
+    grouped_evolution_circuit,
+    to_cx_u3,
+)
+from repro.paulis import PauliString, QubitOperator
+
+
+def phase_free_allclose(a, b, atol=1e-9):
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    phase = a[idx] / b[idx]
+    return abs(abs(phase) - 1.0) < 1e-8 and np.allclose(a, phase * b, atol=atol)
+
+
+class TestConjugation:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            Gate("h", (0,)), Gate("h", (1,)),
+            Gate("s", (0,)), Gate("sdg", (1,)),
+            Gate("x", (0,)), Gate("y", (1,)), Gate("z", (0,)),
+            Gate("cx", (0, 1)), Gate("cx", (1, 0)),
+            Gate("cz", (0, 1)), Gate("swap", (0, 1)),
+        ],
+    )
+    def test_exhaustive_two_qubit(self, gate):
+        """G P G† verified against dense matrices for all 2-qubit Paulis."""
+        from repro.circuits.gates import gate_matrix
+
+        g_full = Circuit(2, [gate]).to_matrix()
+        for label in ("II IX IY IZ XI XX XY XZ YI YY YX YZ ZI ZX ZY ZZ").split():
+            for phase in range(4):
+                p = PauliString.from_label(label, phase=phase)
+                result = conjugate_pauli(p, gate)
+                expected = g_full @ p.to_matrix() @ g_full.conj().T
+                np.testing.assert_allclose(
+                    result.to_matrix(), expected, atol=1e-12,
+                    err_msg=f"{gate} on {p!r}",
+                )
+
+    def test_rejects_non_clifford(self):
+        with pytest.raises(ValueError):
+            conjugate_pauli(PauliString.from_label("X"), Gate("t", (0,)))
+
+    def test_through_circuit(self):
+        c = Circuit(2)
+        c.add("h", 0).add("cx", 0, 1)
+        p = conjugate_through_circuit(PauliString.from_label("IZ"), c)
+        # H: Z0 -> X0 ; CX(0,1): X0 -> X0 X1.
+        assert p == PauliString.from_label("XX")
+
+
+class TestGrouping:
+    def test_all_commuting_single_group(self):
+        terms = [
+            (PauliString.from_label(s), 1.0) for s in ["ZZ", "ZI", "IZ", "II"]
+        ]
+        assert len(group_commuting(terms)) == 1
+
+    def test_anticommuting_split(self):
+        terms = [(PauliString.from_label(s), 1.0) for s in ["XI", "ZI"]]
+        assert len(group_commuting(terms)) == 2
+
+    def test_partition_preserves_terms(self):
+        labels = ["XX", "YY", "ZZ", "XI", "IZ", "ZY"]
+        terms = [(PauliString.from_label(s), 0.5) for s in labels]
+        groups = group_commuting(terms)
+        flat = [s.label() for g in groups for s, _ in g]
+        assert sorted(flat) == sorted(labels)
+        for g in groups:
+            for i, (a, _) in enumerate(g):
+                for b, _ in g[i + 1 :]:
+                    assert a.commutes_with(b)
+
+
+def random_commuting_set(n, size, rng) -> list[PauliString]:
+    """Random Z-strings conjugated by a random Clifford => commuting set with
+    generic X/Y/Z structure."""
+    clifford = Circuit(n)
+    for _ in range(4 * n):
+        r = rng.random()
+        if r < 0.4:
+            clifford.add("h", int(rng.integers(n)))
+        elif r < 0.7:
+            clifford.add("s", int(rng.integers(n)))
+        elif n > 1:
+            a, b = rng.permutation(n)[:2]
+            clifford.add("cx", int(a), int(b))
+    out = []
+    for _ in range(size):
+        z = int(rng.integers(1, 1 << n))
+        p = PauliString(n, 0, z)
+        out.append(conjugate_through_circuit(p, clifford))
+    return out
+
+
+class TestDiagonalization:
+    def test_rejects_non_commuting(self):
+        with pytest.raises(ValueError):
+            diagonalizing_circuit(
+                [PauliString.from_label("XI"), PauliString.from_label("ZI")], 2
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_commuting_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        strings = random_commuting_set(n, int(rng.integers(1, n + 3)), rng)
+        circuit = diagonalizing_circuit(strings, n)
+        for p in strings:
+            d = conjugate_through_circuit(p, circuit)
+            assert d.x == 0, f"string {p!r} not diagonalized"
+            assert d.phase in (0, 2)
+
+    def test_already_diagonal_is_cheap(self):
+        strings = [PauliString.from_label("ZZ"), PauliString.from_label("IZ")]
+        circuit = diagonalizing_circuit(strings, 2)
+        assert len(circuit) == 0
+
+
+class TestGroupedEvolution:
+    def test_matches_exact_for_commuting_hamiltonian(self):
+        h = QubitOperator.from_label_dict({"XX": 0.4, "YY": -0.3, "ZZ": 0.7})
+        circuit = grouped_evolution_circuit(h, time=0.8)
+        expected = expm(-0.8j * h.to_matrix())
+        assert phase_free_allclose(circuit.to_matrix(), expected)
+
+    def test_matches_per_group_product(self):
+        """Each group's sub-circuit is the exact exponential of its sum."""
+        h = QubitOperator.from_label_dict(
+            {"XI": 0.3, "ZI": 0.2, "IZ": -0.4, "ZZ": 0.6}
+        )
+        terms = [(s, c.real) for s, c in h.terms()]
+        terms.sort(key=lambda t: t[0].label())
+        groups = group_commuting(terms)
+        product = np.eye(4, dtype=complex)
+        for group in groups:
+            hg = QubitOperator.from_terms([(s, c) for s, c in group], n=2)
+            product = expm(-1j * hg.to_matrix()) @ product
+        circuit = grouped_evolution_circuit(h, time=1.0)
+        assert phase_free_allclose(circuit.to_matrix(), product)
+
+    def test_grouped_cheaper_than_naive_on_xx_chain(self):
+        """The Rustiq-style synthesis wins on dense commuting structure."""
+        from repro.circuits import trotter_circuit
+
+        labels = {}
+        for i in range(4):
+            for j in range(i + 1, 4):
+                ops = ["I"] * 4
+                ops[i] = ops[j] = "Z"
+                labels["".join(ops)] = 0.3
+        h = QubitOperator.from_label_dict(labels)
+        naive = to_cx_u3(trotter_circuit(h))
+        grouped = to_cx_u3(grouped_evolution_circuit(h))
+        assert grouped.cx_count <= naive.cx_count
+
+    def test_rejects_non_hermitian(self):
+        with pytest.raises(ValueError):
+            grouped_evolution_circuit(QubitOperator.from_label_dict({"XY": 1j}))

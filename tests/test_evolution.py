@@ -1,0 +1,178 @@
+"""Tests for Pauli-evolution synthesis and the peephole optimizer."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import (
+    Circuit,
+    Gate,
+    cancel_adjacent,
+    evolution_term_circuit,
+    fuse_single_qubit,
+    optimize,
+    to_cx_u3,
+    trotter_circuit,
+    zyz_angles,
+)
+from repro.circuits.gates import gate_matrix
+from repro.paulis import PauliString, QubitOperator
+
+
+def phase_free_allclose(a: np.ndarray, b: np.ndarray, atol=1e-9) -> bool:
+    """Equality up to global phase."""
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < 1e-12:
+        return np.allclose(a, b, atol=atol)
+    phase = a[idx] / b[idx]
+    return abs(abs(phase) - 1.0) < 1e-9 and np.allclose(a, phase * b, atol=atol)
+
+
+class TestTermCircuit:
+    @pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XY", "XYZ", "ZIY", "XIIX"])
+    def test_matches_matrix_exponential(self, label):
+        p = PauliString.from_label(label)
+        angle = 0.731
+        circuit = evolution_term_circuit(p, angle)
+        expected = expm(-0.5j * angle * p.to_matrix())
+        assert phase_free_allclose(circuit.to_matrix(), expected)
+
+    def test_identity_term_no_gates(self):
+        circuit = evolution_term_circuit(PauliString.identity(3), 0.5)
+        assert len(circuit) == 0
+
+    def test_paper_fig2_structure(self):
+        """exp(itc·XYIZ): H on q3, basis change on q2, CNOT ladder to q0, Rz."""
+        p = PauliString.from_label("XYIZ")
+        circuit = evolution_term_circuit(p, 0.4)
+        names = [g.name for g in circuit.gates]
+        assert names.count("cx") == 4  # ladder down + back over support {0,2,3}
+        assert names.count("rz") == 1
+        assert names.count("h") == 4  # X basis on q3 (2) + Y basis h-part on q2 (2)
+        rz_gate = next(g for g in circuit.gates if g.name == "rz")
+        assert rz_gate.qubits == (0,)  # target = lowest support qubit (paper: q0)
+
+    def test_cx_count_is_twice_weight_minus_two(self):
+        for label in ["ZZ", "XYZ", "YXZZ"]:
+            p = PauliString.from_label(label)
+            c = evolution_term_circuit(p, 0.1)
+            assert c.count("cx") == 2 * (p.weight - 1)
+
+
+class TestTrotter:
+    def test_single_step_commuting_exact(self):
+        h = QubitOperator.from_label_dict({"ZI": 0.7, "IZ": -0.3, "ZZ": 0.25})
+        circuit = trotter_circuit(h, time=0.9)
+        expected = expm(-1j * 0.9 * h.to_matrix())
+        assert phase_free_allclose(circuit.to_matrix(), expected)
+
+    def test_trotter_error_shrinks_with_steps(self):
+        h = QubitOperator.from_label_dict({"XI": 0.8, "ZZ": 0.6, "IY": -0.5})
+        exact = expm(-1j * h.to_matrix())
+        errs = []
+        for steps in (1, 4, 16):
+            u = trotter_circuit(h, time=1.0, steps=steps).to_matrix()
+            # Remove global phase before comparing.
+            idx = np.unravel_index(np.argmax(np.abs(exact)), exact.shape)
+            u = u * (exact[idx] / u[idx] / abs(exact[idx] / u[idx]))
+            errs.append(np.linalg.norm(u - exact))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_rejects_non_hermitian(self):
+        h = QubitOperator.from_label_dict({"XY": 1j})
+        with pytest.raises(ValueError):
+            trotter_circuit(h)
+
+    def test_rejects_bad_steps(self):
+        h = QubitOperator.from_label_dict({"Z": 1.0})
+        with pytest.raises(ValueError):
+            trotter_circuit(h, steps=0)
+
+    def test_gate_count_tracks_pauli_weight(self):
+        """The paper's core claim at circuit level: lower weight => fewer CNOTs."""
+        light = QubitOperator.from_label_dict({"ZIII": 1.0, "IZII": 1.0})
+        heavy = QubitOperator.from_label_dict({"ZZZZ": 1.0, "XXXX": 1.0})
+        c_light = to_cx_u3(trotter_circuit(light))
+        c_heavy = to_cx_u3(trotter_circuit(heavy))
+        assert c_light.cx_count < c_heavy.cx_count
+
+
+class TestOptimizer:
+    def test_cancel_hh(self):
+        c = Circuit(1)
+        c.add("h", 0).add("h", 0)
+        assert len(cancel_adjacent(c)) == 0
+
+    def test_cancel_cxcx(self):
+        c = Circuit(2)
+        c.add("cx", 0, 1).add("cx", 0, 1)
+        assert len(cancel_adjacent(c)) == 0
+
+    def test_no_cancel_reversed_cx(self):
+        c = Circuit(2)
+        c.add("cx", 0, 1).add("cx", 1, 0)
+        assert len(cancel_adjacent(c)) == 2
+
+    def test_no_cancel_across_blocker(self):
+        c = Circuit(2)
+        c.add("h", 0).add("cx", 0, 1).add("h", 0)
+        assert len(cancel_adjacent(c)) == 3
+
+    def test_rz_merge(self):
+        c = Circuit(1)
+        c.add("rz", 0, params=(0.3,)).add("rz", 0, params=(0.5,))
+        out = cancel_adjacent(c)
+        assert len(out) == 1
+        assert out.gates[0].params[0] == pytest.approx(0.8)
+
+    def test_rz_annihilation(self):
+        c = Circuit(1)
+        c.add("rz", 0, params=(0.3,)).add("rz", 0, params=(-0.3,))
+        assert len(cancel_adjacent(c)) == 0
+
+    def test_cascaded_cancellation(self):
+        # h s sdg h collapses completely (needs iteration).
+        c = Circuit(1)
+        c.add("h", 0).add("s", 0).add("sdg", 0).add("h", 0)
+        assert len(cancel_adjacent(c)) == 0
+
+    def test_ladder_sharing_between_terms(self):
+        """Adjacent terms sharing top ladder edges cancel CNOT pairs."""
+        h = QubitOperator.from_label_dict({"ZZI": 0.5, "ZZZ": 0.5, "IZZ": 0.25})
+        raw = trotter_circuit(h)
+        opt = cancel_adjacent(raw)
+        assert opt.cx_count < raw.cx_count
+
+    def test_optimize_preserves_unitary(self):
+        h = QubitOperator.from_label_dict({"XY": 0.3, "ZZ": -0.8, "YI": 0.2})
+        raw = trotter_circuit(h, time=0.7)
+        for pass_fn in (cancel_adjacent, fuse_single_qubit, optimize, to_cx_u3):
+            out = pass_fn(raw)
+            assert phase_free_allclose(out.to_matrix(), raw.to_matrix())
+
+    def test_to_cx_u3_basis(self):
+        h = QubitOperator.from_label_dict({"XY": 0.3, "ZZ": -0.8})
+        out = to_cx_u3(trotter_circuit(h))
+        assert set(g.name for g in out.gates) <= {"cx", "u3"}
+
+    def test_fusion_drops_identity_runs(self):
+        c = Circuit(1)
+        c.add("s", 0).add("sdg", 0)
+        assert len(fuse_single_qubit(c)) == 0
+
+
+class TestZYZ:
+    def test_random_unitaries(self):
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            mat = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+            q, _ = np.linalg.qr(mat)
+            theta, phi, lam = zyz_angles(q)
+            rebuilt = gate_matrix("u3", (theta, phi, lam))
+            assert phase_free_allclose(rebuilt, q)
+
+    def test_special_cases(self):
+        for name in ["x", "y", "z", "h", "s", "i"]:
+            u = gate_matrix(name)
+            rebuilt = gate_matrix("u3", zyz_angles(u))
+            assert phase_free_allclose(rebuilt, u)

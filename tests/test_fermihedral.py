@@ -1,0 +1,226 @@
+"""Tests for the SAT solver, the Fermihedral encoding, and the search."""
+
+import itertools
+
+import pytest
+
+from repro.fermion import FermionOperator, MajoranaOperator
+from repro.fermihedral import (
+    SAT,
+    UNSAT,
+    MappingEncoding,
+    Solver,
+    fermihedral_mapping,
+)
+from repro.hatt import hatt_mapping
+from repro.mappings import symplectic_rank
+from repro.paulis import PauliString
+
+
+class TestSolverBasics:
+    def test_empty_is_sat(self):
+        assert Solver().solve() == SAT
+
+    def test_single_unit(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve() == SAT
+        assert s.model()[1] is True
+
+    def test_contradiction(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() == UNSAT
+
+    def test_empty_clause(self):
+        s = Solver()
+        s.add_clause([])
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve() == SAT
+
+    def test_chain_implications(self):
+        s = Solver()
+        n = 30
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+        s.add_clause([1])
+        assert s.solve() == SAT
+        assert all(s.model()[i] for i in range(1, n + 1))
+
+    def test_xor_system(self):
+        # x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 -> UNSAT.
+        s = Solver()
+        def xor_true(a, b):
+            s.add_clause([a, b])
+            s.add_clause([-a, -b])
+        xor_true(1, 2)
+        xor_true(2, 3)
+        xor_true(1, 3)
+        assert s.solve() == UNSAT
+
+
+class TestSolverHard:
+    def test_pigeonhole_3_into_2(self):
+        """PHP(3,2) is a classic small UNSAT instance requiring learning."""
+        s = Solver()
+        def var(p, h):
+            return p * 2 + h + 1
+        for p in range(3):
+            s.add_clause([var(p, 0), var(p, 1)])
+        for h in range(2):
+            for p1, p2 in itertools.combinations(range(3), 2):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+        assert s.solve() == UNSAT
+
+    def test_pigeonhole_4_into_3(self):
+        s = Solver()
+        def var(p, h):
+            return p * 3 + h + 1
+        for p in range(4):
+            s.add_clause([var(p, h) for h in range(3)])
+        for h in range(3):
+            for p1, p2 in itertools.combinations(range(4), 2):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+        assert s.solve() == UNSAT
+
+    def test_random_3sat_satisfiable(self):
+        """Planted-solution random 3-SAT instances must come back SAT with a
+        model that satisfies every clause."""
+        import random
+
+        rng = random.Random(99)
+        n, m = 40, 160
+        planted = {v: rng.random() < 0.5 for v in range(1, n + 1)}
+        s = Solver()
+        clauses = []
+        for _ in range(m):
+            vs = rng.sample(range(1, n + 1), 3)
+            clause = [v if rng.random() < 0.5 else -v for v in vs]
+            # Force at least one literal to agree with the planted model.
+            fix = rng.choice(range(3))
+            v = abs(clause[fix])
+            clause[fix] = v if planted[v] else -v
+            clauses.append(clause)
+            s.add_clause(clause)
+        assert s.solve() == SAT
+        model = s.model()
+        for clause in clauses:
+            assert any(
+                (l > 0) == model.get(abs(l), False) for l in clause
+            ), f"model violates {clause}"
+
+    def test_timeout_returns_unknown(self):
+        """A hard instance with a tiny budget reports UNKNOWN."""
+        s = Solver()
+        def var(p, h):
+            return p * 5 + h + 1
+        for p in range(6):
+            s.add_clause([var(p, h) for h in range(5)])
+        for h in range(5):
+            for p1, p2 in itertools.combinations(range(6), 2):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+        result = s.solve(time_limit=1e-4)
+        assert result in ("unknown", "unsat")  # tiny budget; usually unknown
+
+
+class TestEncoding:
+    def test_validity_only_n1(self):
+        enc = MappingEncoding(1, [])
+        enc.add_validity_constraints()
+        assert enc.solver.solve() == SAT
+        strings = enc.decode()
+        assert len(strings) == 2
+        assert strings[0].anticommutes_with(strings[1])
+
+    def test_validity_n2_anticommutation(self):
+        enc = MappingEncoding(2, [])
+        enc.add_validity_constraints()
+        assert enc.solver.solve() == SAT
+        strings = enc.decode()
+        for a, b in itertools.combinations(strings, 2):
+            assert a.anticommutes_with(b)
+        assert symplectic_rank(strings, 2) == 4
+
+    def test_weight_bound_zero_unsat(self):
+        """Weight 0 on a non-trivial term is impossible for valid strings."""
+        enc = MappingEncoding(1, [(0,)])
+        enc.add_validity_constraints()
+        enc.add_weight_bound(0)
+        assert enc.solver.solve() == UNSAT
+
+    def test_weight_bound_counts(self):
+        """Σ indicators ≤ k enforced exactly on a toy instance.
+
+        For H = M0+M1+M2+M3 on 2 qubits the optimum is 6: at most three
+        weight-1 strings can pairwise anticommute (X,Y,Z on one qubit) and
+        nothing anticommutes with all three, so (1,1,1,2) is infeasible and
+        the best partition is (1,1,2,2).
+        """
+        enc = MappingEncoding(2, [(0,), (1,), (2,), (3,)])
+        enc.add_validity_constraints()
+        enc.add_weight_bound(5)
+        assert enc.solver.solve() == UNSAT
+
+        enc = MappingEncoding(2, [(0,), (1,), (2,), (3,)])
+        enc.add_validity_constraints()
+        enc.add_weight_bound(6)
+        assert enc.solver.solve() == SAT
+        strings = enc.decode()
+        assert sum(s.weight for s in strings) == 6
+
+    def test_term_out_of_range(self):
+        with pytest.raises(ValueError):
+            MappingEncoding(1, [(5,)])
+
+
+def test_anticommutation_implies_independence():
+    """2N pairwise-anticommuting non-identity strings on N qubits are always
+    independent (the argument used to omit an explicit constraint):
+    exhaustively verified for N=2 over SAT-generated solutions."""
+    for seed_terms in ([], [(0, 1)], [(0, 1, 2, 3)]):
+        enc = MappingEncoding(2, list(seed_terms))
+        enc.add_validity_constraints()
+        assert enc.solver.solve() == SAT
+        strings = enc.decode()
+        assert symplectic_rank(strings, 2) == 4
+
+
+class TestSearch:
+    def test_single_mode_optimum(self):
+        """N=1, H = M0: optimal weight is 1 and provably so."""
+        result = fermihedral_mapping(MajoranaOperator.single(0), n_modes=1,
+                                     time_limit=30)
+        assert result.optimal
+        assert result.weight == 1
+        assert result.mapping is not None
+        assert result.mapping.is_valid()
+
+    def test_two_mode_number_operators(self):
+        """H = n_0 + n_1: both occupation products can sit on single qubits."""
+        hf = FermionOperator.number(0) + FermionOperator.number(1)
+        result = fermihedral_mapping(hf, n_modes=2, time_limit=60)
+        assert result.mapping is not None
+        assert result.mapping.is_valid()
+        assert result.weight == 2  # one Z per mode is achievable and minimal
+        assert result.optimal
+
+    def test_fh_never_worse_than_hatt(self):
+        hf = FermionOperator.number(0) + FermionOperator.hopping(0, 1, 0.5)
+        hatt = hatt_mapping(hf, n_modes=2)
+        hatt_w = hatt.map(hf).pauli_weight()
+        result = fermihedral_mapping(hf, n_modes=2, time_limit=60)
+        assert result.weight is not None
+        assert result.weight <= hatt_w
+
+    def test_label_formatting(self):
+        from repro.fermihedral import FermihedralResult
+
+        assert FermihedralResult(None, None, False, True, 1.0).label == "--"
+        m = hatt_mapping(MajoranaOperator.single(0), n_modes=1)
+        assert FermihedralResult(m, 5, True, False, 1.0).label == "5"
+        assert FermihedralResult(m, 5, False, True, 1.0).label == "5*"

@@ -1,0 +1,125 @@
+"""Tests for FermionOperator: CAR algebra, normal ordering, hermiticity."""
+
+import pytest
+
+from repro.fermion import FermionOperator
+
+
+def a(mode):
+    return FermionOperator.annihilation(mode)
+
+
+def adag(mode):
+    return FermionOperator.creation(mode)
+
+
+class TestBasics:
+    def test_constructors(self):
+        assert len(FermionOperator.zero()) == 0
+        assert FermionOperator.identity(2.0).constant == pytest.approx(2.0)
+        assert adag(3).n_modes == 4
+        assert FermionOperator.number(2).coefficient([(2, True), (2, False)]) == 1.0
+
+    def test_hopping_is_hermitian(self):
+        assert FermionOperator.hopping(0, 3, 1.5).is_hermitian()
+        assert FermionOperator.hopping(0, 3, 1.0 + 0.5j).is_hermitian()
+
+    def test_addition_combines(self):
+        op = adag(0) + adag(0)
+        assert op.coefficient([(0, True)]) == pytest.approx(2.0)
+
+    def test_scalar_multiplication(self):
+        op = 3.0 * adag(1) * 2.0
+        assert op.coefficient([(1, True)]) == pytest.approx(6.0)
+
+    def test_product_concatenates(self):
+        op = adag(0) * a(1)
+        assert op.coefficient([(0, True), (1, False)]) == pytest.approx(1.0)
+
+
+class TestCAR:
+    def test_anticommutator_same_mode(self):
+        # {a_0, a†_0} = 1
+        anti = (a(0) * adag(0) + adag(0) * a(0)).normal_order()
+        assert anti == FermionOperator.identity(1.0)
+
+    def test_anticommutator_different_modes(self):
+        anti = (a(0) * adag(1) + adag(1) * a(0)).normal_order()
+        assert anti == FermionOperator.zero()
+
+    def test_annihilation_anticommute(self):
+        anti = (a(0) * a(1) + a(1) * a(0)).normal_order()
+        assert anti == FermionOperator.zero()
+
+    def test_pauli_exclusion(self):
+        assert (adag(0) * adag(0)).normal_order() == FermionOperator.zero()
+        assert (a(1) * a(1)).normal_order() == FermionOperator.zero()
+
+    def test_number_squared_is_number(self):
+        n = FermionOperator.number(0)
+        assert (n * n).normal_order() == n.normal_order()
+
+    def test_normal_order_idempotent(self):
+        op = a(0) * adag(1) * a(2) * adag(0)
+        once = op.normal_order()
+        assert once == once.normal_order()
+
+    def test_normal_order_preserves_operator(self):
+        """Normal ordering must not change the operator; verified by a
+        three-mode occupation-basis representation."""
+        op = a(0) * adag(1) + 2.0 * adag(2) * a(0) * adag(0)
+        no = op.normal_order()
+        # Compare matrix elements in the 8-dim occupation basis via a
+        # elementary simulation of ladder actions.
+        for source in range(8):
+            amps = {}
+            for term, coeff in no.terms():
+                res = _apply_term(term, source)
+                if res is not None:
+                    tgt, sgn = res
+                    amps[tgt] = amps.get(tgt, 0) + sgn * coeff
+            for term, coeff in op.terms():
+                res = _apply_term(term, source)
+                if res is not None:
+                    tgt, sgn = res
+                    amps[tgt] = amps.get(tgt, 0) - sgn * coeff
+            assert all(abs(v) < 1e-9 for v in amps.values())
+
+
+def _apply_term(term, bits):
+    """Apply a ladder monomial to occupation state |bits> (JW sign convention).
+
+    Returns (new_bits, sign) or None when annihilated.
+    """
+    sign = 1
+    for mode, dagger in reversed(term):
+        occupied = (bits >> mode) & 1
+        if dagger == bool(occupied):
+            return None
+        # Fermionic sign: parity of occupied modes below `mode`.
+        below = bits & ((1 << mode) - 1)
+        sign *= (-1) ** below.bit_count()
+        bits ^= 1 << mode
+    return bits, sign
+
+
+class TestHermitian:
+    def test_hermitian_conjugate_single(self):
+        op = adag(2) * a(0)
+        hc = op.hermitian_conjugate()
+        assert hc.coefficient([(0, True), (2, False)]) == pytest.approx(1.0)
+
+    def test_double_conjugate_is_identity(self):
+        op = (1 + 2j) * adag(0) * a(1) * adag(2)
+        assert op.hermitian_conjugate().hermitian_conjugate() == op
+
+    def test_number_is_hermitian(self):
+        assert FermionOperator.number(4).is_hermitian()
+
+    def test_non_hermitian_detected(self):
+        assert not adag(0).is_hermitian()
+        assert not (1j * FermionOperator.number(0)).is_hermitian()
+
+    def test_hubbard_style_term_hermitian(self):
+        op = FermionOperator.number(0) * FermionOperator.number(1)
+        assert op.is_hermitian()

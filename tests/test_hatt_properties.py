@@ -1,0 +1,94 @@
+"""Property-based tests for HATT over random Majorana Hamiltonians."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fermion import MajoranaOperator
+from repro.hatt import hatt_mapping
+from repro.mappings import balanced_ternary_tree, jordan_wigner
+
+
+@st.composite
+def majorana_hamiltonians(draw):
+    """Random Hermitian-support Hamiltonians on 2..6 modes."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    n_terms = draw(st.integers(min_value=1, max_value=8))
+    op = MajoranaOperator.zero()
+    for _ in range(n_terms):
+        size = draw(st.sampled_from([2, 4]))
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2 * n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        # Phase making the monomial Hermitian: a product of k Majoranas
+        # conjugates to (-1)^{k(k-1)/2} times itself.
+        coeff = 1j if (size * (size - 1) // 2) % 2 else 1.0
+        op = op + MajoranaOperator.from_term(sorted(indices), coeff)
+    return n, op
+
+
+@given(majorana_hamiltonians())
+@settings(max_examples=40, deadline=None)
+def test_hatt_always_valid_and_vacuum_preserving(data):
+    n, op = data
+    mapping = hatt_mapping(op, n_modes=n, vacuum=True)
+    assert mapping.is_valid()
+    assert mapping.preserves_vacuum()
+    assert mapping.discarded is not None
+    # All 2N+1 tree strings pairwise anticommute, including the discarded one.
+    assert all(
+        mapping.discarded.anticommutes_with(s) for s in mapping.strings
+    )
+
+
+@given(majorana_hamiltonians())
+@settings(max_examples=25, deadline=None)
+def test_unopt_hatt_valid(data):
+    n, op = data
+    mapping = hatt_mapping(op, n_modes=n, vacuum=False)
+    assert mapping.is_valid()
+
+
+@given(majorana_hamiltonians())
+@settings(max_examples=25, deadline=None)
+def test_cached_equals_uncached(data):
+    n, op = data
+    cached = hatt_mapping(op, n_modes=n, cached=True)
+    uncached = hatt_mapping(op, n_modes=n, cached=False)
+    assert cached.strings == uncached.strings
+
+
+@given(majorana_hamiltonians())
+@settings(max_examples=25, deadline=None)
+def test_spectral_equivalence_with_jw(data):
+    """The HATT-mapped operator is isospectral with the JW-mapped one."""
+    import numpy as np
+
+    n, op = data
+    if n > 5:  # keep dense matrices small
+        return
+    assert op.is_hermitian()
+    hatt_q = hatt_mapping(op, n_modes=n).map(op)
+    jw_q = jordan_wigner(n).map(op)
+    assert hatt_q.is_hermitian() and jw_q.is_hermitian()
+    ev_h = np.linalg.eigvalsh(hatt_q.to_matrix())
+    ev_j = np.linalg.eigvalsh(jw_q.to_matrix())
+    np.testing.assert_allclose(ev_h, ev_j, atol=1e-8)
+
+
+@given(majorana_hamiltonians())
+@settings(max_examples=20, deadline=None)
+def test_weight_not_worse_than_btt_on_average_structure(data):
+    """Greedy adaptivity should rarely lose to the oblivious balanced tree.
+
+    This is a *statistical* paper claim, not a theorem; we assert the weak
+    form that HATT never exceeds BTT by more than 25% on random instances.
+    """
+    n, op = data
+    hatt_w = hatt_mapping(op, n_modes=n).map(op).pauli_weight()
+    btt_w = balanced_ternary_tree(n).map(op).pauli_weight()
+    assert hatt_w <= max(btt_w * 1.25, btt_w + 3)

@@ -1,0 +1,90 @@
+"""Tests for mapping serialization and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.hatt import hatt_mapping
+from repro.mappings import bravyi_kitaev, jordan_wigner
+from repro.mappings.io import (
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+from repro.models import hubbard_case
+
+
+class TestSerialization:
+    def test_roundtrip_jw(self, tmp_path):
+        mapping = jordan_wigner(5)
+        path = tmp_path / "jw.json"
+        save_mapping(mapping, path)
+        loaded = load_mapping(path)
+        assert loaded.strings == mapping.strings
+        assert loaded.name == mapping.name
+        assert loaded.n_modes == 5
+
+    def test_roundtrip_hatt_with_discarded(self, tmp_path):
+        h = hubbard_case("2x2")
+        mapping = hatt_mapping(h)
+        path = tmp_path / "hatt.json"
+        save_mapping(mapping, path)
+        loaded = load_mapping(path)
+        assert loaded.strings == mapping.strings
+        assert loaded.discarded == mapping.discarded.with_phase(0)
+        assert loaded.preserves_vacuum()
+
+    def test_loaded_mapping_reproduces_weight(self, tmp_path):
+        h = hubbard_case("2x2")
+        mapping = hatt_mapping(h)
+        expected = mapping.map(h).pauli_weight()
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path)
+        assert load_mapping(path).map(h).pauli_weight() == expected
+
+    def test_schema_validation(self):
+        data = mapping_to_dict(bravyi_kitaev(3))
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = tmp_path / "m.json"
+        save_mapping(jordan_wigner(2), path)
+        data = json.loads(path.read_text())
+        assert data["majorana_strings"][0] == "X0"
+
+
+class TestCLI:
+    def test_compare_hubbard(self, capsys):
+        assert main(["compare", "hubbard:2x2", "--no-circuit"]) == 0
+        out = capsys.readouterr().out
+        assert "HATT" in out and "JW" in out
+        assert "76" in out  # paper's 2x2 HATT weight
+
+    def test_map_with_output(self, tmp_path, capsys):
+        out_file = tmp_path / "mapping.json"
+        code = main(
+            ["map", "hubbard:2x2", "--mapping", "hatt", "--output", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        loaded = load_mapping(out_file)
+        assert loaded.n_modes == 8
+
+    def test_map_show_strings(self, capsys):
+        assert main(["map", "hubbard:1x2", "--mapping", "jw",
+                     "--show-strings"]) == 0
+        out = capsys.readouterr().out
+        assert "M_0" in out
+
+    def test_cases_listing(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "H2_sto3g" in out and "hubbard:" in out
+
+    def test_neutrino_spec(self, capsys):
+        assert main(["compare", "neutrino:2x2F", "--no-circuit"]) == 0
+        assert "HATT" in capsys.readouterr().out

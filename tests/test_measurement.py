@@ -1,0 +1,132 @@
+"""Tests for shot-based energy estimation (QWC grouping + sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.paulis import PauliString, QubitOperator
+from repro.sim import Statevector
+from repro.sim.measurement import (
+    EnergyEstimate,
+    basis_rotation_circuit,
+    estimate_energy,
+    qubitwise_commuting_groups,
+    sample_bitstrings,
+)
+
+
+def op_from(labels):
+    return QubitOperator.from_label_dict(labels)
+
+
+class TestGrouping:
+    def test_compatible_terms_share_group(self):
+        h = op_from({"ZZ": 1.0, "ZI": 0.5, "IZ": 0.25})
+        groups = qubitwise_commuting_groups(h)
+        assert len(groups) == 1
+        assert groups[0].basis == {0: "Z", 1: "Z"}
+
+    def test_conflicting_bases_split(self):
+        h = op_from({"XX": 1.0, "ZZ": 1.0})
+        assert len(qubitwise_commuting_groups(h)) == 2
+
+    def test_commuting_but_not_qwc_split(self):
+        # XX and YY commute globally but not qubit-wise.
+        h = op_from({"XX": 1.0, "YY": 1.0})
+        assert len(qubitwise_commuting_groups(h)) == 2
+
+    def test_identity_excluded(self):
+        h = op_from({"II": 5.0, "ZI": 1.0})
+        groups = qubitwise_commuting_groups(h)
+        assert len(groups) == 1
+        assert len(groups[0].terms) == 1
+
+    def test_partition_is_complete(self):
+        h = op_from({"XY": 0.1, "XI": 0.2, "ZY": 0.3, "IY": 0.4, "ZZ": 0.5})
+        groups = qubitwise_commuting_groups(h)
+        total_terms = sum(len(g.terms) for g in groups)
+        assert total_terms == 5
+
+
+class TestBasisRotation:
+    @pytest.mark.parametrize("label", ["XX", "YZ", "ZY", "XY"])
+    def test_rotated_terms_become_diagonal(self, label):
+        h = op_from({label: 1.0})
+        (group,) = qubitwise_commuting_groups(h)
+        circ = basis_rotation_circuit(group, 2)
+        from repro.circuits import conjugate_through_circuit
+
+        p = conjugate_through_circuit(PauliString.from_label(label), circ)
+        assert p.x == 0  # diagonal after rotation
+
+
+class TestSampling:
+    def test_deterministic_state(self):
+        state = Statevector.basis(3, 0b101)
+        rng = np.random.default_rng(0)
+        outcomes = sample_bitstrings(state, 50, rng)
+        assert set(outcomes) == {0b101}
+
+    def test_readout_error_flips(self):
+        state = Statevector.basis(1, 0)
+        rng = np.random.default_rng(0)
+        outcomes = sample_bitstrings(state, 4000, rng, readout_error=0.25)
+        flipped = np.mean(outcomes)
+        assert 0.2 < flipped < 0.3
+
+    def test_uniform_superposition(self):
+        state = Statevector(1)
+        from repro.circuits import Gate
+
+        state.apply(Gate("h", (0,)))
+        rng = np.random.default_rng(1)
+        outcomes = sample_bitstrings(state, 4000, rng)
+        assert 0.45 < np.mean(outcomes) < 0.55
+
+
+class TestEstimator:
+    def test_diagonal_exact_on_basis_state(self):
+        h = op_from({"ZI": 1.0, "IZ": 2.0, "II": 0.5})
+        state = Statevector.basis(2, 0b01)
+        est = estimate_energy(state, h, shots=100)
+        # Single deterministic group: estimator is exact.
+        assert est.value == pytest.approx(1.0 - 2.0 + 0.5)
+        assert est.stderr == pytest.approx(0.0)
+
+    def test_unbiased_against_exact_expectation(self):
+        h = op_from({"XI": 0.7, "ZZ": -0.4, "YY": 0.9, "IZ": 0.3})
+        state = Statevector(2)
+        from repro.circuits import Gate
+
+        state.apply(Gate("h", (0,)))
+        state.apply(Gate("cx", (0, 1)))
+        state.apply(Gate("t", (1,)))
+        exact = state.expectation(h)
+        est = estimate_energy(state, h, shots=60000, seed=5)
+        assert est.value == pytest.approx(exact, abs=0.05)
+        assert est.n_groups >= 2
+
+    def test_h2_energy_estimation(self):
+        """Full physics path: HF state of H2, sampled energy ≈ SCF energy."""
+        from repro.mappings import jordan_wigner
+        from repro.models.electronic import electronic_case
+        from repro.sim import occupation_statevector
+
+        case = electronic_case("H2_sto3g")
+        mapping = jordan_wigner(4)
+        hq = mapping.map(case.hamiltonian)
+        state = occupation_statevector(mapping, [0, 2])
+        est = estimate_energy(state, hq, shots=40000, seed=2)
+        assert est.value == pytest.approx(case.scf_energy, abs=0.03)
+
+    def test_readout_error_biases(self):
+        h = op_from({"ZZZ": 1.0})
+        state = Statevector.basis(3, 0)
+        clean = estimate_energy(state, h, shots=2000, seed=1)
+        noisy = estimate_energy(state, h, shots=2000, seed=1, readout_error=0.1)
+        assert clean.value == pytest.approx(1.0)
+        assert noisy.value < clean.value
+
+    def test_constant_hamiltonian(self):
+        h = op_from({"II": 3.25})
+        est = estimate_energy(Statevector(2), h, shots=10)
+        assert est == EnergyEstimate(3.25, 0.0, 0, 0)

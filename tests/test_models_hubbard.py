@@ -1,0 +1,126 @@
+"""Tests for the Fermi-Hubbard generator."""
+
+import numpy as np
+import pytest
+
+from repro.fermion import FermionOperator
+from repro.hatt import hatt_mapping
+from repro.mappings import jordan_wigner
+from repro.models.hubbard import fermi_hubbard, hubbard_case, lattice_edges
+
+
+class TestLattice:
+    def test_edge_counts_open(self):
+        # rows*(cols-1) horizontal + (rows-1)*cols vertical.
+        assert len(lattice_edges(2, 2)) == 4
+        assert len(lattice_edges(2, 3)) == 7
+        assert len(lattice_edges(3, 3)) == 12
+        assert len(lattice_edges(1, 4)) == 3
+
+    def test_edges_are_neighbours(self):
+        for i, j in lattice_edges(3, 4):
+            ri, ci = divmod(i, 4)
+            rj, cj = divmod(j, 4)
+            assert abs(ri - rj) + abs(ci - cj) == 1
+
+    def test_periodic_adds_wraparound(self):
+        open_edges = len(lattice_edges(3, 3))
+        per_edges = len(lattice_edges(3, 3, periodic=True))
+        assert per_edges == open_edges + 6
+
+
+class TestHamiltonian:
+    def test_mode_count(self):
+        for rows, cols in [(2, 2), (2, 3), (4, 5)]:
+            h = fermi_hubbard(rows, cols)
+            assert h.n_modes == 2 * rows * cols
+
+    def test_term_count(self):
+        # Each edge gives 2 spins × 2 directed hops; each site 1 U-product term.
+        h = fermi_hubbard(2, 2, t=1.0, u=4.0)
+        n_hop = 4 * len(lattice_edges(2, 2))
+        assert len(h) == n_hop + 4
+
+    def test_hermitian(self):
+        assert fermi_hubbard(2, 3).is_hermitian()
+
+    def test_jw_weight_1x2(self):
+        """Hand-computed JW Pauli weight for the 1×2 lattice (4 modes) = 20."""
+        h = fermi_hubbard(1, 2, t=1.0, u=4.0)
+        hq = jordan_wigner(4).map(h)
+        assert hq.pauli_weight() == 20
+
+    def test_blocked_ordering_differs(self):
+        inter = fermi_hubbard(2, 2, ordering="interleaved")
+        blocked = fermi_hubbard(2, 2, ordering="blocked")
+        wi = jordan_wigner(8).map(inter).pauli_weight()
+        wb = jordan_wigner(8).map(blocked).pauli_weight()
+        assert wi != wb  # blocked ordering stretches the up/down JW chains
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fermi_hubbard(0, 2)
+        with pytest.raises(ValueError):
+            fermi_hubbard(2, 2, ordering="diagonal")
+
+    def test_particle_number_conserved(self):
+        """[H, N_total] = 0 in a dense 2-site check."""
+        h = fermi_hubbard(1, 2)
+        m = jordan_wigner(4)
+        hq = m.map(h).to_matrix()
+        n_tot = sum(
+            m.mode_number_operator(j).to_matrix() for j in range(4)
+        )
+        np.testing.assert_allclose(hq @ n_tot - n_tot @ hq, 0, atol=1e-12)
+
+    def test_half_filling_ground_state_energy(self):
+        """1×2 Hubbard in the N=2 sector: E0 = (U - sqrt(U² + 16t²)) / 2."""
+        t, u = 1.0, 4.0
+        h = fermi_hubbard(1, 2, t=t, u=u)
+        m = jordan_wigner(4)
+        hq = m.map(h).to_matrix()
+        n_tot = sum(m.mode_number_operator(j).to_matrix() for j in range(4))
+        # Project onto the two-particle sector and diagonalize there.
+        occ = np.round(np.diag(n_tot).real).astype(int)
+        sel = np.where(occ == 2)[0]
+        block = hq[np.ix_(sel, sel)]
+        expected = (u - np.sqrt(u * u + 16 * t * t)) / 2
+        assert np.linalg.eigvalsh(block)[0] == pytest.approx(expected, abs=1e-9)
+
+
+class TestCaseParser:
+    def test_parse(self):
+        h = hubbard_case("2x3")
+        assert h.n_modes == 12
+        h2 = hubbard_case("3×4")
+        assert h2.n_modes == 24
+
+    def test_reject(self):
+        with pytest.raises(ValueError):
+            hubbard_case("2by3")
+
+
+def test_hatt_on_hubbard_2x2_beats_jw():
+    """Table II shape: HATT ≤ JW in Pauli weight on the 2×2 lattice."""
+    h = fermi_hubbard(2, 2)
+    hatt_w = hatt_mapping(h).map(h).pauli_weight()
+    jw_w = jordan_wigner(8).map(h).pauli_weight()
+    assert hatt_w <= jw_w
+
+
+def test_paper_table2_exact_regression():
+    """With the periodic column-major convention, JW/BK/HATT reproduce the
+    paper's Table II weights exactly on the small geometries."""
+    from repro.mappings import bravyi_kitaev
+
+    expected = {  # geometry: (JW, BK, HATT) from paper Table II
+        "2x2": (80, 80, 76),
+        "2x3": (212, 200, 187),
+        "2x4": (304, 263, 256),
+    }
+    for geometry, (jw_w, bk_w, hatt_w) in expected.items():
+        h = hubbard_case(geometry)
+        n = h.n_modes
+        assert jordan_wigner(n).map(h).pauli_weight() == jw_w
+        assert bravyi_kitaev(n).map(h).pauli_weight() == bk_w
+        assert hatt_mapping(h, n_modes=n).map(h).pauli_weight() == hatt_w

@@ -1,0 +1,81 @@
+"""Tests for the collective neutrino oscillation generator."""
+
+import pytest
+
+from repro.mappings import jordan_wigner
+from repro.models.neutrino import collective_neutrino, neutrino_case
+
+
+class TestStructure:
+    def test_mode_counts_match_paper_table3(self):
+        # Paper Table III: 3×2F=12, 4×2F=16, 3×3F=18, 7×3F=42 modes.
+        assert collective_neutrino(3, 2).n_modes == 12
+        assert collective_neutrino(4, 2).n_modes == 16
+        assert collective_neutrino(3, 3).n_modes == 18
+        assert collective_neutrino(7, 3).n_modes == 42
+
+    def test_kinetic_terms_present(self):
+        h = collective_neutrino(2, 2, mu=0.0)
+        # With mu=0 only the 2·N·F number operators survive.
+        assert len(h) == 8
+        for term, coeff in h.terms():
+            assert len(term) == 2
+            assert coeff.real > 0
+
+    def test_interaction_conserves_momentum(self):
+        h = collective_neutrino(3, 1, mu=0.5)
+        f = 1
+        for term, _ in h.terms():
+            if len(term) != 4:
+                continue
+            (m1, _), (m3, _), (m2, _), (m4, _) = term
+            # Within one sector: momentum index = (mode % (N·F)) // F.
+            p1, p2, p3, p4 = (((m % 3) // f) for m in (m1, m2, m3, m4))
+            assert p1 + p2 == p3 + p4
+
+    def test_hermitian_via_mapping(self):
+        h = collective_neutrino(3, 2, mu=0.3)
+        hq = jordan_wigner(12).map(h)
+        assert hq.is_hermitian()
+
+    def test_masses_validation(self):
+        with pytest.raises(ValueError):
+            collective_neutrino(2, 2, masses=[0.1])
+        with pytest.raises(ValueError):
+            collective_neutrino(0, 2)
+
+    def test_cross_sector_terms_present(self):
+        """νν̄ forward scattering couples the two sectors."""
+        h = collective_neutrino(3, 2, mu=0.4)
+        sector_size = 6
+        mixed = same = 0
+        for term, _ in h.terms():
+            if len(term) != 4:
+                continue
+            sectors = {mode // sector_size for mode, _ in term}
+            if len(sectors) == 2:
+                mixed += 1
+            else:
+                same += 1
+        assert mixed > 0 and same > 0
+        # Every cross term pairs one creation/annihilation per sector.
+        for term, _ in h.terms():
+            if len(term) == 4:
+                for sector in (0, 1):
+                    created = sum(
+                        1 for m, d in term if d and m // sector_size == sector
+                    )
+                    destroyed = sum(
+                        1 for m, d in term if not d and m // sector_size == sector
+                    )
+                    assert created == destroyed
+
+
+class TestCaseParser:
+    def test_parse(self):
+        assert neutrino_case("3x2F").n_modes == 12
+        assert neutrino_case("5×3f").n_modes == 30
+
+    def test_reject(self):
+        with pytest.raises(ValueError):
+            neutrino_case("3x2")

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the Pauli algebra substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import PauliString, commutes, mul_xzk
+
+N_QUBITS = 5
+MASKS = st.integers(min_value=0, max_value=(1 << N_QUBITS) - 1)
+PHASES = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def pauli_strings(draw, n=N_QUBITS):
+    return PauliString(n, draw(MASKS), draw(MASKS), draw(PHASES))
+
+
+@given(pauli_strings(), pauli_strings(), pauli_strings())
+@settings(max_examples=150)
+def test_multiplication_associative(a, b, c):
+    assert (a * b) * c == a * (b * c)
+
+
+@given(pauli_strings())
+def test_self_inverse_up_to_phase(p):
+    sq = p * p
+    assert sq.x == 0 and sq.z == 0
+    # P^2 = i^{2k} I: phase doubles.
+    assert sq.phase == (2 * p.phase) % 4
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=150)
+def test_product_weight_no_larger_than_union(a, b):
+    prod = a * b
+    union = (a.x | a.z | b.x | b.z).bit_count()
+    assert prod.weight <= union
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=100)
+def test_commute_or_anticommute(a, b):
+    """Two Pauli strings either commute or anticommute; verify against matrices."""
+    am, bm = a.to_matrix(), b.to_matrix()
+    comm_zero = np.allclose(am @ bm - bm @ am, 0)
+    anti_zero = np.allclose(am @ bm + bm @ am, 0)
+    assert comm_zero != anti_zero or (comm_zero and a.is_identity or b.is_identity) or (
+        comm_zero and anti_zero
+    )
+    assert a.commutes_with(b) == comm_zero
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=100)
+def test_mul_xzk_matches_object_multiply(a, b):
+    x, z, k = mul_xzk(a.x, a.z, a.phase, b.x, b.z, b.phase)
+    prod = a * b
+    assert (x, z, k) == (prod.x, prod.z, prod.phase)
+
+
+@given(MASKS, MASKS, MASKS, MASKS)
+@settings(max_examples=100)
+def test_commutes_symmetric(x1, z1, x2, z2):
+    assert commutes(x1, z1, x2, z2) == commutes(x2, z2, x1, z1)
+
+
+@given(pauli_strings())
+def test_label_roundtrip(p):
+    assert PauliString.from_label(p.label(), phase=p.phase) == p
+
+
+@given(pauli_strings())
+def test_compact_roundtrip(p):
+    assert PauliString.from_compact(p.compact(), n=p.n, phase=p.phase) == p
+
+
+@given(pauli_strings(), pauli_strings())
+@settings(max_examples=60)
+def test_adjoint_of_product(a, b):
+    assert (a * b).adjoint() == b.adjoint() * a.adjoint()

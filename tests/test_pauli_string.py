@@ -1,0 +1,185 @@
+"""Unit tests for PauliString: construction, labels, algebra, matrices."""
+
+import numpy as np
+import pytest
+
+from repro.paulis import PauliString, pauli_strings_anticommute_pairwise
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = PauliString.identity(4)
+        assert p.is_identity
+        assert p.weight == 0
+        assert p.label() == "IIII"
+
+    def test_from_label_roundtrip(self):
+        for label in ["XYIZ", "IIII", "ZZZZ", "XIXI", "Y"]:
+            assert PauliString.from_label(label).label() == label
+
+    def test_from_label_matches_paper_example(self):
+        # Paper §II-B1: XYIZ = X3 Y2 Z0.
+        p = PauliString.from_label("XYIZ")
+        assert p.op_at(3) == "X"
+        assert p.op_at(2) == "Y"
+        assert p.op_at(1) == "I"
+        assert p.op_at(0) == "Z"
+        assert p.compact() == "X3Y2Z0"
+
+    def test_from_compact(self):
+        p = PauliString.from_compact("X3Y2Z0", n=4)
+        assert p.label() == "XYIZ"
+        assert PauliString.from_compact("I", n=3).is_identity
+        assert PauliString.from_compact("", n=3).is_identity
+
+    def test_from_compact_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PauliString.from_compact("X3Q2", n=4)
+        with pytest.raises(ValueError):
+            PauliString.from_compact("X9", n=4)
+        with pytest.raises(ValueError):
+            PauliString.from_compact("X1Y1", n=4)
+
+    def test_from_ops(self):
+        p = PauliString.from_ops({0: "Z", 2: "Y"}, n=3)
+        assert p.label() == "YIZ"
+
+    def test_from_ops_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliString.from_ops({5: "X"}, n=3)
+
+    def test_single(self):
+        p = PauliString.single(5, 2, "Y")
+        assert p.weight == 1
+        assert p.support == (2,)
+        assert p.op_at(2) == "Y"
+
+    def test_invalid_label_letter(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQZ")
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliString(2, x=0b100)
+
+    def test_immutability(self):
+        p = PauliString.from_label("XY")
+        with pytest.raises(AttributeError):
+            p.x = 3
+
+
+class TestInspection:
+    def test_weight_and_support(self):
+        p = PauliString.from_label("XYIZ")
+        assert p.weight == 3
+        assert p.support == (0, 2, 3)
+
+    def test_ops_iteration(self):
+        p = PauliString.from_label("XYIZ")
+        assert list(p.ops()) == [(0, "Z"), (2, "Y"), (3, "X")]
+
+    def test_hermitian_flag(self):
+        assert PauliString.from_label("XY").is_hermitian
+        assert PauliString.from_label("XY", phase=2).is_hermitian
+        assert not PauliString.from_label("XY", phase=1).is_hermitian
+
+    def test_hash_and_eq(self):
+        a = PauliString.from_label("XZ")
+        b = PauliString.from_label("XZ")
+        c = PauliString.from_label("XZ", phase=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestAlgebra:
+    def test_single_qubit_table(self):
+        # Full 1-qubit multiplication table with phases.
+        table = {
+            ("X", "Y"): ("Z", 1),  # XY = iZ
+            ("Y", "X"): ("Z", 3),  # YX = -iZ
+            ("Y", "Z"): ("X", 1),
+            ("Z", "Y"): ("X", 3),
+            ("Z", "X"): ("Y", 1),
+            ("X", "Z"): ("Y", 3),
+            ("X", "X"): ("I", 0),
+            ("Y", "Y"): ("I", 0),
+            ("Z", "Z"): ("I", 0),
+        }
+        for (a, b), (expect_op, expect_phase) in table.items():
+            prod = PauliString.from_label(a) * PauliString.from_label(b)
+            assert prod.label() == expect_op, f"{a}*{b}"
+            assert prod.phase == expect_phase, f"{a}*{b}"
+
+    def test_product_against_dense(self):
+        rng = np.random.default_rng(7)
+        letters = "IXYZ"
+        for _ in range(50):
+            la = "".join(rng.choice(list(letters)) for _ in range(4))
+            lb = "".join(rng.choice(list(letters)) for _ in range(4))
+            pa, pb = PauliString.from_label(la), PauliString.from_label(lb)
+            np.testing.assert_allclose(
+                (pa * pb).to_matrix(), pa.to_matrix() @ pb.to_matrix(), atol=1e-12
+            )
+
+    def test_commutation_against_dense(self):
+        rng = np.random.default_rng(11)
+        letters = "IXYZ"
+        for _ in range(50):
+            la = "".join(rng.choice(list(letters)) for _ in range(3))
+            lb = "".join(rng.choice(list(letters)) for _ in range(3))
+            pa, pb = PauliString.from_label(la), PauliString.from_label(lb)
+            comm = pa.to_matrix() @ pb.to_matrix() - pb.to_matrix() @ pa.to_matrix()
+            assert pa.commutes_with(pb) == np.allclose(comm, 0)
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XX") * PauliString.from_label("X")
+        with pytest.raises(ValueError):
+            PauliString.from_label("XX").commutes_with(PauliString.from_label("X"))
+
+    def test_adjoint(self):
+        p = PauliString.from_label("XY", phase=1)
+        np.testing.assert_allclose(p.adjoint().to_matrix(), p.to_matrix().conj().T)
+
+    def test_tensor(self):
+        a = PauliString.from_label("X")
+        b = PauliString.from_label("ZY")
+        t = a.tensor(b)
+        assert t.label() == "XZY"
+        np.testing.assert_allclose(t.to_matrix(), np.kron(a.to_matrix(), b.to_matrix()))
+
+    def test_anticommuting_set_helper(self):
+        trio = [PauliString.from_label(s) for s in "XYZ"]
+        assert pauli_strings_anticommute_pairwise(trio)
+        assert not pauli_strings_anticommute_pairwise(
+            [PauliString.from_label("XI"), PauliString.from_label("IX")]
+        )
+
+
+class TestBasisStateAction:
+    @pytest.mark.parametrize("label", ["X", "Y", "Z", "I"])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_single_qubit(self, label, bit):
+        p = PauliString.from_label(label)
+        new_bits, amp = p.apply_to_basis_state(bit)
+        vec = np.zeros(2, dtype=complex)
+        vec[bit] = 1.0
+        expected = p.to_matrix() @ vec
+        got = np.zeros(2, dtype=complex)
+        got[new_bits] = amp
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_multi_qubit_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            label = "".join(rng.choice(list("IXYZ")) for _ in range(4))
+            phase = int(rng.integers(0, 4))
+            p = PauliString.from_label(label, phase=phase)
+            bits = int(rng.integers(0, 16))
+            new_bits, amp = p.apply_to_basis_state(bits)
+            vec = np.zeros(16, dtype=complex)
+            vec[bits] = 1.0
+            expected = p.to_matrix() @ vec
+            got = np.zeros(16, dtype=complex)
+            got[new_bits] = amp
+            np.testing.assert_allclose(got, expected, atol=1e-12)

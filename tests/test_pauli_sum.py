@@ -1,0 +1,108 @@
+"""Unit tests for QubitOperator (weighted Pauli sums)."""
+
+import numpy as np
+import pytest
+
+from repro.paulis import PauliString, QubitOperator
+
+
+def op_from(labels):
+    return QubitOperator.from_label_dict(labels)
+
+
+class TestBuilding:
+    def test_combines_duplicates(self):
+        h = QubitOperator(2)
+        h.add_string(PauliString.from_label("XZ"), 1.0)
+        h.add_string(PauliString.from_label("XZ"), 2.0)
+        assert len(h) == 1
+        assert h.coefficient(PauliString.from_label("XZ")) == pytest.approx(3.0)
+
+    def test_phase_folding(self):
+        h = QubitOperator(1)
+        h.add_string(PauliString.from_label("X", phase=1), 1.0)  # i·X
+        assert h.coefficient(PauliString.from_label("X")) == pytest.approx(1j)
+
+    def test_exact_cancellation_removes_term(self):
+        h = QubitOperator(1)
+        h.add_string(PauliString.from_label("Z"), 1.0)
+        h.add_string(PauliString.from_label("Z"), -1.0)
+        assert len(h) == 0
+
+    def test_simplify_tolerance(self):
+        h = op_from({"XZ": 1e-14, "ZZ": 1.0})
+        h.simplify()
+        assert len(h) == 1
+
+    def test_from_terms_infers_n(self):
+        h = QubitOperator.from_terms([(PauliString.from_label("XYZ"), 1.0)])
+        assert h.n == 3
+
+    def test_from_terms_empty_requires_n(self):
+        with pytest.raises(ValueError):
+            QubitOperator.from_terms([])
+        assert len(QubitOperator.from_terms([], n=3)) == 0
+
+
+class TestMetrics:
+    def test_pauli_weight(self):
+        h = op_from({"XYIZ": 0.5, "IIII": 3.0, "ZIII": 1.0})
+        assert h.pauli_weight() == 4  # 3 + 0 + 1
+
+    def test_pauli_weight_skips_negligible(self):
+        h = op_from({"XYIZ": 1e-13, "ZIII": 1.0})
+        assert h.pauli_weight() == 1
+
+    def test_max_weight(self):
+        h = op_from({"XYIZ": 0.5, "ZIII": 1.0})
+        assert h.max_weight() == 3
+
+    def test_hermiticity(self):
+        assert op_from({"XX": 1.0, "ZI": -2.0}).is_hermitian()
+        assert not op_from({"XX": 1j}).is_hermitian()
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = op_from({"XX": 1.0})
+        b = op_from({"XX": 2.0, "ZZ": 1.0})
+        s = a + b
+        assert s.coefficient(PauliString.from_label("XX")) == pytest.approx(3.0)
+        d = b - a
+        assert d.coefficient(PauliString.from_label("XX")) == pytest.approx(1.0)
+
+    def test_scalar_mul(self):
+        a = op_from({"XX": 1.0}) * 2.5
+        assert a.coefficient(PauliString.from_label("XX")) == pytest.approx(2.5)
+        b = 2.5 * op_from({"XX": 1.0})
+        assert b == a
+
+    def test_operator_product_dense(self):
+        a = op_from({"XI": 1.0, "ZZ": 0.5})
+        b = op_from({"YI": 2.0, "IZ": -1.0})
+        np.testing.assert_allclose(
+            (a * b).to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-12
+        )
+
+    def test_mismatched_n(self):
+        with pytest.raises(ValueError):
+            op_from({"XX": 1.0}) + op_from({"X": 1.0})
+
+
+class TestDense:
+    def test_ground_energy_single_z(self):
+        h = op_from({"Z": 1.0})
+        assert h.ground_energy() == pytest.approx(-1.0)
+
+    def test_expectation_basis_state(self):
+        h = op_from({"ZI": 1.0, "IZ": 2.0, "XX": 5.0, "II": 0.25})
+        # |10>: Z on qubit 1 -> -1, Z on qubit 0 -> +1, XX off-diagonal.
+        assert h.expectation_basis_state(0b10) == pytest.approx(-1.0 + 2.0 + 0.25)
+
+    def test_expectation_matches_dense(self):
+        h = op_from({"ZZ": 0.3, "ZI": -1.2, "II": 0.7, "YY": 0.9})
+        for bits in range(4):
+            vec = np.zeros(4)
+            vec[bits] = 1.0
+            dense = vec @ h.to_matrix() @ vec
+            assert h.expectation_basis_state(bits) == pytest.approx(dense)

@@ -1,0 +1,92 @@
+"""Property-based tests: the CDCL solver against a brute-force oracle."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fermihedral import SAT, UNSAT, Solver
+
+
+def brute_force_sat(clauses: list[list[int]], n_vars: int) -> bool:
+    for bits in itertools.product((False, True), repeat=n_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                (lit > 0) == bits[abs(lit) - 1] for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@st.composite
+def cnf_instances(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=8))
+    n_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(min_value=1, max_value=min(3, n_vars)))
+        lits = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        clauses.append([v if s else -v for v, s in zip(lits, signs)])
+    return n_vars, clauses
+
+
+@given(cnf_instances())
+@settings(max_examples=120, deadline=None)
+def test_solver_agrees_with_brute_force(instance):
+    n_vars, clauses = instance
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    result = solver.solve()
+    expected = brute_force_sat(clauses, n_vars)
+    assert result == (SAT if expected else UNSAT)
+    if result == SAT:
+        model = solver.model()
+        for clause in clauses:
+            assert any((l > 0) == model.get(abs(l), False) for l in clause)
+
+
+@given(cnf_instances())
+@settings(max_examples=40, deadline=None)
+def test_solver_deterministic(instance):
+    _, clauses = instance
+    results = []
+    for _ in range(2):
+        s = Solver()
+        for clause in clauses:
+            s.add_clause(list(clause))
+        results.append(s.solve())
+    assert results[0] == results[1]
+
+
+@given(st.integers(min_value=1, max_value=6), st.randoms())
+@settings(max_examples=30, deadline=None)
+def test_xor_chain_parity(n, rnd):
+    """Encode a parity constraint via Tseitin chain; solver must respect it."""
+    from repro.fermihedral.encoding import MappingEncoding
+
+    enc = MappingEncoding(1, [])
+    lits = [enc.solver.new_var() for _ in range(n)]
+    out = enc._xor_chain(lits)
+    target = rnd.choice([True, False])
+    enc.solver.add_clause([out if target else -out])
+    # Pin each input randomly; parity of inputs must equal target iff SAT
+    # under forced assignment.
+    values = [rnd.choice([True, False]) for _ in range(n)]
+    for lit, val in zip(lits, values):
+        enc.solver.add_clause([lit if val else -lit])
+    result = enc.solver.solve()
+    parity = sum(values) % 2 == 1
+    assert result == (SAT if parity == target else UNSAT)

@@ -1,0 +1,139 @@
+"""Tests for Z2-symmetry finding and qubit tapering."""
+
+import numpy as np
+import pytest
+
+from repro.mappings import jordan_wigner
+from repro.mappings.tapering import (
+    find_z2_symmetries,
+    sector_of_state,
+    taper,
+)
+from repro.paulis import PauliString, QubitOperator
+
+
+def op_from(labels):
+    return QubitOperator.from_label_dict(labels)
+
+
+class TestSymmetryFinding:
+    def test_single_z_hamiltonian(self):
+        h = op_from({"IZ": 1.0})
+        syms = find_z2_symmetries(h)
+        # Everything commuting with Z0: large group; all returned commute
+        # with the Hamiltonian and each other.
+        for tau in syms:
+            for s, _ in h.terms():
+                assert tau.commutes_with(s)
+        for i, a in enumerate(syms):
+            for b in syms[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_parity_symmetry_of_ising(self):
+        h = op_from({"ZZI": 1.0, "IZZ": 1.0, "XII": 0.0})
+        h.simplify()
+        syms = find_z2_symmetries(h)
+        labels = {s.label() for s in syms}
+        # Global spin-flip XXX commutes with all ZZ terms.
+        assert any(set(lbl) <= {"X", "I"} and "X" in lbl for lbl in labels) or any(
+            set(lbl) <= {"Z", "I"} for lbl in labels
+        )
+
+    def test_no_nontrivial_symmetry(self):
+        # Single-qubit H spanning X and Z has only the identity commutant
+        # within the Pauli group (up to its own terms).
+        h = op_from({"X": 1.0, "Z": 1.0, "Y": 1.0})
+        assert find_z2_symmetries(h) == []
+
+    def test_h2_has_symmetries(self):
+        from repro.models.electronic import electronic_case
+
+        case = electronic_case("H2_sto3g")
+        hq = jordan_wigner(4).map(case.hamiltonian)
+        syms = find_z2_symmetries(hq)
+        assert len(syms) >= 2
+        for tau in syms:
+            for s, _ in hq.terms():
+                assert tau.commutes_with(s)
+
+
+class TestSectorOfState:
+    def test_z_type(self):
+        tau = PauliString.from_label("ZIZ")
+        assert sector_of_state([tau], 0b000) == (1,)
+        assert sector_of_state([tau], 0b001) == (-1,)
+        assert sector_of_state([tau], 0b101) == (1,)
+
+    def test_non_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            sector_of_state([PauliString.from_label("XI")], 0)
+
+
+class TestTapering:
+    def test_trivial_no_symmetries(self):
+        h = op_from({"X": 1.0, "Z": 1.0, "Y": 1.0})
+        result = taper(h)
+        assert result.operator.n == 1
+        assert result.pivots == []
+
+    def test_single_symmetry_reduces_one_qubit(self):
+        h = op_from({"ZZ": 1.0, "XX": 0.5})
+        syms = [PauliString.from_label("ZZ")]
+        result = taper(h, symmetries=syms, sector=(1,))
+        assert result.operator.n == 1
+
+    def test_spectrum_is_sector_restriction(self):
+        """Union of tapered spectra over all sectors == original spectrum."""
+        h = op_from({"ZZ": 0.7, "XX": 0.4, "II": 0.1})
+        syms = find_z2_symmetries(h)
+        assert syms
+        full = np.linalg.eigvalsh(h.to_matrix())
+        collected = []
+        import itertools
+
+        for sector in itertools.product((1, -1), repeat=len(syms)):
+            sub = taper(h, symmetries=syms, sector=sector)
+            collected.extend(np.linalg.eigvalsh(sub.operator.to_matrix()))
+        np.testing.assert_allclose(sorted(collected)[: len(full)][0], full[0],
+                                   atol=1e-9)
+        # Every original eigenvalue appears in some sector.
+        for ev in full:
+            assert min(abs(ev - c) for c in collected) < 1e-8
+
+    def test_h2_tapering_preserves_ground_energy(self):
+        """The famous result: 4-qubit H2 tapers with its Z2 symmetries and
+        some sector reproduces the FCI ground energy."""
+        import itertools
+
+        from repro.models.electronic import electronic_case
+
+        case = electronic_case("H2_sto3g")
+        hq = jordan_wigner(4).map(case.hamiltonian)
+        e0 = hq.ground_energy()
+        syms = find_z2_symmetries(hq)
+        assert len(syms) >= 2
+        best = np.inf
+        for sector in itertools.product((1, -1), repeat=len(syms)):
+            sub = taper(hq, symmetries=syms, sector=sector)
+            assert sub.operator.n == 4 - len(syms)
+            best = min(best, sub.operator.ground_energy())
+        assert best == pytest.approx(e0, abs=1e-8)
+
+    def test_correct_sector_from_hf_state(self):
+        """Selecting the sector of the HF determinant keeps the HF energy
+        representable in the tapered space."""
+        from repro.models.electronic import electronic_case
+
+        case = electronic_case("H2_sto3g")
+        hq = jordan_wigner(4).map(case.hamiltonian)
+        syms = [s for s in find_z2_symmetries(hq) if s.x == 0]
+        bits = 0b0101  # HF occupation modes 0, 2
+        sector = sector_of_state(syms, bits)
+        sub = taper(hq, symmetries=syms, sector=sector)
+        evs = np.linalg.eigvalsh(sub.operator.to_matrix())
+        assert evs[0] == pytest.approx(hq.ground_energy(), abs=1e-8)
+
+    def test_sector_length_validation(self):
+        h = op_from({"ZZ": 1.0})
+        with pytest.raises(ValueError):
+            taper(h, symmetries=[PauliString.from_label("ZZ")], sector=(1, 1))

@@ -1,0 +1,52 @@
+"""Tests for Trotter-error bounds."""
+
+import pytest
+
+from repro.analysis.trotter_error import (
+    commutator_weight,
+    empirical_trotter_error,
+    trotter_error_bound,
+)
+from repro.paulis import QubitOperator
+
+
+def op_from(labels):
+    return QubitOperator.from_label_dict(labels)
+
+
+class TestCommutatorWeight:
+    def test_commuting_terms_zero(self):
+        h = op_from({"ZZ": 1.0, "ZI": 2.0, "IZ": 3.0})
+        assert commutator_weight(h) == 0.0
+
+    def test_anticommuting_pair(self):
+        h = op_from({"XI": 0.5, "ZI": 2.0})
+        assert commutator_weight(h) == pytest.approx(2.0 * 0.5 * 2.0)
+
+    def test_identity_ignored(self):
+        h = op_from({"II": 100.0, "XI": 1.0, "ZI": 1.0})
+        assert commutator_weight(h) == pytest.approx(2.0)
+
+
+class TestBound:
+    def test_zero_for_commuting(self):
+        h = op_from({"ZZ": 1.0, "IZ": 0.5})
+        assert trotter_error_bound(h, 1.0, 1) == 0.0
+        assert empirical_trotter_error(h, 1.0, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bound_dominates_empirical(self):
+        h = op_from({"XI": 0.8, "ZZ": 0.6, "IY": -0.5})
+        for steps in (1, 2, 4):
+            bound = trotter_error_bound(h, 0.5, steps)
+            actual = empirical_trotter_error(h, 0.5, steps)
+            assert actual <= bound + 1e-9
+
+    def test_error_decreases_linearly_in_steps(self):
+        h = op_from({"XX": 0.9, "ZI": 0.7})
+        e1 = empirical_trotter_error(h, 1.0, 1)
+        e4 = empirical_trotter_error(h, 1.0, 4)
+        assert e4 < e1 / 2.5  # first-order formula: ~1/steps
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            trotter_error_bound(op_from({"X": 1.0}), 1.0, 0)
