@@ -40,6 +40,8 @@ class MappingReport:
     n_modes: int
     pauli_weight: int
     n_terms: int
+    max_weight: int = 0
+    mean_weight: float = 0.0
     cx_count: int | None = None
     u3_count: int | None = None
     depth: int | None = None
@@ -67,11 +69,17 @@ def evaluate_mapping(
     diagonalization — the Rustiq stand-in).
     """
     hq = mapping.map(hamiltonian)
+    # One packed-table conversion serves every weight statistic (the scalar
+    # per-term popcount loop is the equivalent reference; see PauliTable).
+    table, _ = hq.to_table()
+    weights = table.weights()
     report = MappingReport(
         mapping=mapping.name,
         n_modes=mapping.n_modes,
-        pauli_weight=hq.pauli_weight(),
+        pauli_weight=int(weights.sum()),
         n_terms=len(hq),
+        max_weight=int(weights.max(initial=0)),
+        mean_weight=float(weights.mean()) if len(weights) else 0.0,
     )
     if compile_circuit:
         if synthesis == "naive":

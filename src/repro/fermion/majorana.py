@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from .operators import FermionOperator
 
 __all__ = ["MajoranaOperator", "normal_order_majorana_product"]
@@ -68,10 +70,13 @@ def normal_order_majorana_product(
 class MajoranaOperator:
     """Weighted sum of canonical Majorana monomials."""
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "_packed")
 
     def __init__(self, terms: dict[tuple[int, ...], complex] | None = None):
         self._terms: dict[tuple[int, ...], complex] = dict(terms) if terms else {}
+        #: Cached bulk-mapping plan (padded index matrix + coefficient vector);
+        #: rebuilt lazily by :meth:`packed_terms`, cleared on mutation.
+        self._packed = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -129,8 +134,9 @@ class MajoranaOperator:
     @property
     def n_majoranas(self) -> int:
         """1 + highest Majorana index in any term."""
-        indices = [i for term in self._terms for i in term]
-        return max(indices) + 1 if indices else 0
+        # Monomials are canonical (strictly increasing), so the last entry of
+        # each is its maximum.
+        return max((term[-1] for term in self._terms if term), default=-1) + 1
 
     @property
     def n_modes(self) -> int:
@@ -140,6 +146,28 @@ class MajoranaOperator:
     def support_terms(self, drop_identity: bool = True) -> list[tuple[int, ...]]:
         """The monomial index sets, optionally without the identity term."""
         return [t for t in self._terms if t or not drop_identity]
+
+    def packed_terms(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk-mapping plan: ``(index matrix, coefficient vector)``, cached.
+
+        The index matrix is ``(n_terms, max_len)`` with every monomial's
+        Majorana indices **shifted up by one** and right-padded with ``0`` —
+        the convention of :meth:`repro.paulis.PauliTable.padded_row_products`,
+        whose virtual identity row sits at index 0.  Because the padding does
+        not depend on any particular mapping, one plan serves every mapping
+        this operator is evaluated under (the HATT workload maps one
+        Hamiltonian with many candidate trees); mutation through
+        :meth:`add_term` or :meth:`simplify` invalidates the cache.
+        """
+        if self._packed is None:
+            from ..paulis.table import pack_monomials
+
+            idx = pack_monomials(list(self._terms.keys()))
+            coeffs = np.fromiter(
+                self._terms.values(), dtype=complex, count=len(self._terms)
+            )
+            self._packed = (idx, coeffs)
+        return self._packed
 
     def is_hermitian(self, tol: float = 1e-9) -> bool:
         """A monomial of k Majoranas conjugates to ``(-1)^{k(k-1)/2}`` itself."""
@@ -154,6 +182,7 @@ class MajoranaOperator:
     # Arithmetic
     # ------------------------------------------------------------------
     def add_term(self, indices: tuple[int, ...], coeff: complex) -> None:
+        self._packed = None
         new = self._terms.get(indices, 0.0) + coeff
         if new == 0:
             self._terms.pop(indices, None)
@@ -161,6 +190,7 @@ class MajoranaOperator:
             self._terms[indices] = new
 
     def simplify(self, tol: float = _COEFF_TOLERANCE) -> "MajoranaOperator":
+        self._packed = None
         self._terms = {t: c for t, c in self._terms.items() if abs(c) > tol}
         return self
 

@@ -51,12 +51,15 @@ class FermionQubitMapping:
         n = majorana_strings[0].n
         if any(s.n != n for s in majorana_strings):
             raise ValueError("all strings must act on the same qubit count")
-        self.strings = list(majorana_strings)
+        # Frozen: map() caches a packed table of these strings (packed_table),
+        # so the sequence must not change after construction.
+        self.strings = tuple(majorana_strings)
         self.n_qubits = n
         self.n_modes = len(majorana_strings) // 2
         self.name = name
         #: The unused (2N+1)-th ternary-tree string, when one exists.
         self.discarded = discarded
+        self._table = None  # packed PauliTable of self.strings, built lazily
 
     # ------------------------------------------------------------------
     # Accessors
@@ -84,12 +87,25 @@ class FermionQubitMapping:
     # ------------------------------------------------------------------
     # Operator mapping
     # ------------------------------------------------------------------
+    @property
+    def packed_table(self):
+        """The Majorana strings packed as a :class:`~repro.paulis.PauliTable`.
+
+        Built once and reused by every :meth:`map` call, so bulk mapping pays
+        the string-packing cost a single time per mapping.
+        """
+        if self._table is None:
+            from ..paulis import PauliTable
+
+            self._table = PauliTable.from_strings(self.strings, n=self.n_qubits)
+        return self._table
+
     def map(self, op: FermionOperator | MajoranaOperator) -> QubitOperator:
         """Map a fermionic or Majorana operator to a qubit operator."""
         if isinstance(op, FermionOperator):
-            return map_fermion_operator(op, self.strings, self.n_qubits)
+            return map_fermion_operator(op, self.packed_table, self.n_qubits)
         if isinstance(op, MajoranaOperator):
-            return map_majorana_operator(op, self.strings, self.n_qubits)
+            return map_majorana_operator(op, self.packed_table, self.n_qubits)
         raise TypeError(f"cannot map object of type {type(op).__name__}")
 
     # ------------------------------------------------------------------

@@ -38,20 +38,47 @@ class QubitOperator:
     def zero(cls, n: int) -> "QubitOperator":
         return cls(n)
 
+    #: Term count above which :meth:`from_terms` switches to the vectorized
+    #: :class:`~repro.paulis.PauliTable` combination path.
+    TABLE_THRESHOLD = 64
+
     @classmethod
     def from_terms(
         cls, terms: Iterable[tuple[PauliString, complex]], n: int | None = None
     ) -> "QubitOperator":
-        """Build from ``(PauliString, coefficient)`` pairs, combining duplicates."""
+        """Build from ``(PauliString, coefficient)`` pairs, combining duplicates.
+
+        Large term lists are combined through the packed
+        :class:`~repro.paulis.PauliTable` backend (lexsort + reduceat) instead
+        of per-term dictionary updates; both paths are exact.
+        """
         terms = list(terms)
         if n is None:
             if not terms:
                 raise ValueError("cannot infer qubit count from an empty term list")
             n = terms[0][0].n
+        if len(terms) >= cls.TABLE_THRESHOLD:
+            from .table import PauliTable
+
+            table = PauliTable.from_strings([s for s, _ in terms], n=n)
+            return table.to_qubit_operator([c for _, c in terms], tol=0.0)
         op = cls(n)
         for string, coeff in terms:
             op.add_string(string, coeff)
         return op
+
+    @classmethod
+    def from_table(
+        cls, table, coeffs, tol: float = DEFAULT_TOLERANCE
+    ) -> "QubitOperator":
+        """Build from a :class:`~repro.paulis.PauliTable` plus coefficients."""
+        return table.to_qubit_operator(coeffs, tol=tol)
+
+    def to_table(self):
+        """Pack into ``(PauliTable, coefficient vector)`` for bulk queries."""
+        from .table import PauliTable
+
+        return PauliTable.from_qubit_operator(self)
 
     @classmethod
     def from_label_dict(cls, labels: dict[str, complex]) -> "QubitOperator":
