@@ -5,7 +5,19 @@ per cell in the paper; the default here uses a reduced grid/shot count and
 asserts the paper's qualitative finding — HATT's bias/variance is at most
 that of the worst constructive baseline everywhere, tracking its smaller
 circuits.
+
+The heatmap cells run on the batched trajectory engine
+(``backend="batched"``); ``test_backend_speedup_and_agreement`` times it
+against the per-trajectory scalar reference at 1000 trajectories and checks
+both engines report the same bias/variance within statistical error.
+
+Set ``REPRO_BENCH_SMOKE=1`` (as the CI smoke step does) for a toy-size run:
+one case, a short grid, reduced shots, and a loose speed floor, finishing in
+seconds.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -17,14 +29,31 @@ from repro.mappings import balanced_ternary_tree, bravyi_kitaev, jordan_wigner
 from repro.models.electronic import electronic_case
 from repro.sim import NoiseModel
 
-SHOTS = 1000 if full_run() else 150
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+
+if SMOKE:
+    SHOTS = 60
+elif full_run():
+    SHOTS = 1000
+else:
+    SHOTS = 150
 GRID = (
     [(1e-5, 1e-4), (3e-5, 3e-4), (1e-4, 1e-3)]
     if not full_run()
     else [(p1, p2) for p1 in np.geomspace(1e-5, 1e-4, 4)
           for p2 in np.geomspace(1e-4, 1e-3, 4)]
 )
+if SMOKE:
+    GRID = GRID[-1:]
 CASES = ["H2_sto3g"] + (["LiH_sto3g_frz"] if full_run() else [])
+
+#: Speedup floor for the batched engine over the scalar loop.  At 1000
+#: trajectories on H2 the measured ratio is ~30x; the floor guards the
+#: acceptance criterion (3x) with slack for loaded CI machines.  The smoke
+#: run uses far fewer trajectories, where the floor only catches gross
+#: regressions.
+SPEEDUP_SHOTS = SHOTS if SMOKE else 1000
+MIN_SPEEDUP = 0.5 if SMOKE else 3.0
 
 
 def _mappings(case):
@@ -77,13 +106,60 @@ def test_fig10_hatt_not_worse_than_worst_baseline(fig10):
         assert by_mapping["HATT"][0] <= worst_baseline + 0.02, key
 
 
-def test_bench_noisy_trajectories(benchmark, fig10):
+def test_backend_speedup_and_agreement():
+    """The batched engine beats the per-trajectory loop by >= MIN_SPEEDUP at
+    SPEEDUP_SHOTS trajectories, and both report the same bias/variance
+    within statistical error."""
+    case = electronic_case("H2_sto3g")
+    mapping = jordan_wigner(case.n_modes)
+    noise = NoiseModel(p1=1e-4, p2=1e-3)
+
+    def run(backend):
+        start = time.perf_counter()
+        e = noisy_energy_experiment(
+            case, mapping, noise, shots=SPEEDUP_SHOTS, seed=5, backend=backend
+        )
+        return e, time.perf_counter() - start
+
+    batched, t_batched = run("batched")
+    scalar, t_scalar = run("scalar")
+    speedup = t_scalar / t_batched
+
+    content = format_table(
+        f"Fig. 10 backends - H2, {SPEEDUP_SHOTS} trajectories",
+        ["backend", "time [s]", "mean E", "bias", "variance"],
+        [
+            ["scalar", f"{t_scalar:.3f}", f"{scalar.mean:.5f}",
+             f"{scalar.bias:.5f}", f"{scalar.variance:.6f}"],
+            ["batched", f"{t_batched:.3f}", f"{batched.mean:.5f}",
+             f"{batched.bias:.5f}", f"{batched.variance:.6f}"],
+            ["speedup", f"{speedup:.1f}x", "", "", ""],
+        ],
+    )
+    write_result("fig10_backend_speedup", content)
+
+    # Both engines sample the same trajectory distribution: means agree
+    # within a 5-sigma two-sample window, variances within a broad ratio.
+    stderr = np.sqrt((batched.variance + scalar.variance) / SPEEDUP_SHOTS)
+    assert abs(batched.mean - scalar.mean) <= 5 * stderr + 1e-12
+    assert batched.noiseless == pytest.approx(scalar.noiseless, abs=1e-9)
+    # The variance ratio is only statistically meaningful once enough error
+    # events occurred; at smoke-size trajectory counts either stream may see
+    # almost none, so the check is gated to the full-size run.
+    if not SMOKE and batched.variance > 0 and scalar.variance > 0:
+        ratio = batched.variance / scalar.variance
+        assert 0.2 < ratio < 5.0
+    assert speedup >= MIN_SPEEDUP, f"batched speedup {speedup:.2f}x below floor"
+
+
+@pytest.mark.parametrize("backend", ["batched", "scalar"])
+def test_bench_noisy_trajectories(benchmark, fig10, backend):
     case = electronic_case("H2_sto3g")
     mapping = jordan_wigner(case.n_modes)
 
     def run():
         return noisy_energy_experiment(
-            case, mapping, NoiseModel(p1=1e-4, p2=1e-3), shots=25
+            case, mapping, NoiseModel(p1=1e-4, p2=1e-3), shots=25, backend=backend
         )
 
     benchmark.pedantic(run, rounds=2, iterations=1)

@@ -4,6 +4,10 @@ The hardware is replaced by an all-to-all backend with the paper's published
 fidelities (DESIGN.md substitution table).  The paper's finding: FH best
 mean, HATT second-best mean and lowest variance, all adaptive methods above
 JW/BK/BTT.
+
+Trajectories run on the batched engine (``repro.sim.BatchedStatevector``);
+the scalar per-trajectory loop stays available through the benchmark's
+``backend`` parametrization for cross-checking.
 """
 
 import pytest
@@ -71,12 +75,13 @@ def test_fig11_hatt_bias_competitive(fig11):
     assert fig11["HATT"].bias <= worst + 0.02
 
 
-def test_bench_ionq_experiment(benchmark, fig11):
+@pytest.mark.parametrize("backend", ["batched", "scalar"])
+def test_bench_ionq_experiment(benchmark, fig11, backend):
     case = electronic_case("H2_sto3g")
     mapping = hatt_mapping(case.hamiltonian, n_modes=4)
     noise = ionq_forte_noise_model()
 
     def run():
-        return noisy_energy_experiment(case, mapping, noise, shots=25)
+        return noisy_energy_experiment(case, mapping, noise, shots=25, backend=backend)
 
     benchmark.pedantic(run, rounds=2, iterations=1)

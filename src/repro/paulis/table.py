@@ -358,6 +358,59 @@ class PauliTable:
             gx, gz, pc_acc = x3, z3, pc_new
         return PauliTable._unsafe(self.n, gx, gz, (gk & 3).astype(np.uint8))
 
+    # ------------------------------------------------------------------
+    # Dense-statevector expectation kernel
+    # ------------------------------------------------------------------
+    def expectation_values(
+        self, amplitudes: np.ndarray, coeffs: np.ndarray | Sequence[complex] | None = None
+    ) -> np.ndarray:
+        """Bulk ``⟨ψ_t| row_j |ψ_t⟩`` over a batch of dense statevectors.
+
+        ``amplitudes`` is a ``(batch, 2^n)`` (or ``(2^n,)``) complex array of
+        normalized statevectors with qubit 0 as the least-significant basis
+        bit, matching :class:`repro.sim.Statevector`.  Each row ``P_j`` acts
+        on a basis state as ``P_j|b⟩ = c_j(b) |b ^ x_j⟩`` with
+        ``c_j(b) = i^{phase_j + pc(x_j & z_j)} · (-1)^{pc(z_j & b)}``, so the
+        expectation reduces to one permuted gather plus a sign-weighted inner
+        product per row — no per-string matrices or per-trajectory copies.
+
+        Returns the ``(batch, n_terms)`` complex matrix of per-row values, or
+        the ``(batch,)`` contraction ``E @ coeffs`` when ``coeffs`` is given.
+        The kernel is dense (cost ``n_terms × batch × 2^n``) and therefore
+        restricted to single-word tables (``n ≤ 64`` — far beyond any
+        statevector that fits in memory anyway).
+        """
+        if self.n_words != 1:
+            raise ValueError("dense expectation kernel requires n <= 64 qubits")
+        amps = np.asarray(amplitudes, dtype=complex)
+        squeeze = amps.ndim == 1
+        amps = np.atleast_2d(amps)
+        dim = 1 << self.n
+        if amps.shape[1] != dim:
+            raise ValueError(
+                f"amplitude batch has dimension {amps.shape[1]}, expected {dim}"
+            )
+        xs = self.x[:, 0]
+        zs = self.z[:, 0]
+        # Per-row scalar i^{phase + pc(x & z)} (the Y = iXZ bookkeeping).
+        row_phase = _PHASE_VALUES[
+            (self.phase.astype(np.int64) + np.bitwise_count(xs & zs)) & 3
+        ]
+        b = np.arange(dim, dtype=np.uint64)
+        conj = amps.conj()
+        out = np.empty((amps.shape[0], self.n_terms), dtype=complex)
+        for j in range(self.n_terms):
+            sign = 1.0 - 2.0 * (np.bitwise_count(zs[j] & b) & np.uint64(1))
+            if xs[j]:
+                perm = (b ^ xs[j]).astype(np.intp)
+                out[:, j] = np.einsum("tb,tb->t", conj[:, perm], amps * sign)
+            else:
+                out[:, j] = np.einsum("tb,tb->t", conj, amps * sign)
+            out[:, j] *= row_phase[j]
+        if coeffs is not None:
+            out = out @ np.asarray(coeffs, dtype=complex)
+        return out[0] if squeeze else out
+
     def commutes_with(self, other: "PauliTable") -> np.ndarray:
         """Row-aligned (broadcastable) commutation test, boolean per row."""
         if self.n != other.n:

@@ -1,5 +1,12 @@
-"""Simulation substrate: statevector, noise models, state preparation."""
+"""Simulation substrate: statevector engines, noise models, state preparation.
 
+Two dense engines share the same amplitude convention: the scalar
+:class:`Statevector` and the vectorized :class:`BatchedStatevector`, which
+drives the ``backend="batched"`` noisy-trajectory path (see
+:mod:`repro.sim.batched` for the memory model).
+"""
+
+from .batched import BatchedStatevector
 from .measurement import (
     EnergyEstimate,
     MeasurementGroup,
@@ -7,6 +14,7 @@ from .measurement import (
     estimate_energy,
     qubitwise_commuting_groups,
     sample_bitstrings,
+    sample_bitstrings_batched,
 )
 from .noise import NoiseModel, NoisyResult, ionq_forte_noise_model, noisy_expectations
 from .state_prep import occupation_state_circuit, occupation_statevector
@@ -14,6 +22,7 @@ from .statevector import Statevector
 
 __all__ = [
     "Statevector",
+    "BatchedStatevector",
     "NoiseModel",
     "NoisyResult",
     "ionq_forte_noise_model",
@@ -26,4 +35,5 @@ __all__ = [
     "qubitwise_commuting_groups",
     "basis_rotation_circuit",
     "sample_bitstrings",
+    "sample_bitstrings_batched",
 ]

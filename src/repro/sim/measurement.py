@@ -17,6 +17,7 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..paulis import PauliString, QubitOperator
+from .batched import CHUNK_AMPLITUDE_BUDGET, BatchedStatevector
 from .statevector import Statevector
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "qubitwise_commuting_groups",
     "basis_rotation_circuit",
     "sample_bitstrings",
+    "sample_bitstrings_batched",
     "estimate_energy",
     "EnergyEstimate",
 ]
@@ -96,8 +98,44 @@ def sample_bitstrings(
     outcomes = rng.choice(len(probs), size=shots, p=probs)
     if readout_error > 0.0:
         flips = rng.random((shots, state.n)) < readout_error
-        for q in range(state.n):
-            outcomes = np.where(flips[:, q], outcomes ^ (1 << q), outcomes)
+        outcomes = outcomes ^ _pack_flip_masks(flips)
+    return outcomes
+
+
+def _pack_flip_masks(flips: np.ndarray) -> np.ndarray:
+    """Collapse a boolean ``(..., n_qubits)`` flip array into XOR bitmasks."""
+    weights = np.left_shift(
+        np.uint64(1), np.arange(flips.shape[-1], dtype=np.uint64)
+    )
+    return (flips * weights).sum(axis=-1).astype(np.int64)
+
+
+def sample_bitstrings_batched(
+    batch: BatchedStatevector,
+    shots: int,
+    rng: np.random.Generator,
+    readout_error: float = 0.0,
+) -> np.ndarray:
+    """``(n_traj, shots)`` basis outcomes, ``shots`` per trajectory, in one
+    vectorized pass over the whole batch.
+
+    Sampling inverts each row's CDF with a single global ``searchsorted``:
+    row ``t``'s CDF is offset by ``t`` so all rows share one sorted axis —
+    no per-trajectory ``rng.choice`` loop.  Readout noise flips each bit of
+    every outcome with probability ``readout_error``, as in
+    :func:`sample_bitstrings`.
+    """
+    probs = batch.probabilities()
+    n_traj, dim = probs.shape
+    cdf = np.cumsum(probs, axis=1)
+    cdf[:, -1] = 1.0  # guard against float drift at the top end
+    offsets = np.arange(n_traj, dtype=float)[:, None]
+    u = rng.random((n_traj, shots)) + offsets
+    flat = np.searchsorted((cdf + offsets).ravel(), u.ravel(), side="right")
+    outcomes = (flat % dim).reshape(n_traj, shots)
+    if readout_error > 0.0:
+        flips = rng.random((n_traj, shots, batch.n)) < readout_error
+        outcomes = outcomes ^ _pack_flip_masks(flips)
     return outcomes
 
 
@@ -130,23 +168,37 @@ def estimate_energy(
         return EnergyEstimate(constant, 0.0, 0, 0)
     per_group = max(1, shots // len(groups))
     rng = np.random.default_rng(seed)
+    # Stack the groups' rotated states into batches and draw each batch's
+    # outcomes in one vectorized sampling pass; batching is chunked so peak
+    # memory stays at the shared amplitude budget regardless of group count.
+    gchunk = max(1, CHUNK_AMPLITUDE_BUDGET >> prepared.n)
     total = constant
     variance = 0.0
-    for group in groups:
-        rotated = prepared.copy().apply_circuit(
-            basis_rotation_circuit(group, prepared.n)
+    for lo in range(0, len(groups), gchunk):
+        chunk_groups = groups[lo:lo + gchunk]
+        rotated = np.stack(
+            [
+                prepared.copy()
+                .apply_circuit(basis_rotation_circuit(group, prepared.n))
+                .amplitudes
+                for group in chunk_groups
+            ]
         )
-        outcomes = sample_bitstrings(rotated, per_group, rng, readout_error)
-        group_samples = np.zeros(per_group)
-        for string, coeff in group.terms:
-            mask = string.x | string.z  # support (now measured in Z basis)
-            signs = 1 - 2 * (
-                np.array([(o & mask).bit_count() for o in outcomes]) % 2
-            )
-            group_samples = group_samples + coeff * signs
-        total += float(np.mean(group_samples))
-        if per_group > 1:
-            variance += float(np.var(group_samples, ddof=1)) / per_group
+        all_outcomes = sample_bitstrings_batched(
+            BatchedStatevector(prepared.n, rotated), per_group, rng, readout_error
+        )
+        for group, outcomes in zip(chunk_groups, all_outcomes):
+            group_samples = np.zeros(per_group)
+            outcomes_u64 = outcomes.astype(np.uint64)
+            for string, coeff in group.terms:
+                mask = string.x | string.z  # support (now measured in Z basis)
+                parities = np.bitwise_count(
+                    outcomes_u64 & np.uint64(mask)
+                ).astype(np.int64)
+                group_samples = group_samples + coeff * (1 - 2 * (parities & 1))
+            total += float(np.mean(group_samples))
+            if per_group > 1:
+                variance += float(np.var(group_samples, ddof=1)) / per_group
     return EnergyEstimate(
         value=total,
         stderr=float(np.sqrt(variance)),

@@ -79,8 +79,23 @@ class Statevector:
     # ------------------------------------------------------------------
     # Measurement-free observables
     # ------------------------------------------------------------------
-    def expectation(self, op: QubitOperator) -> float:
-        """⟨ψ|H|ψ⟩ for a Hermitian operator."""
+    def expectation(self, op: QubitOperator, backend: str = "table") -> float:
+        """⟨ψ|H|ψ⟩ for a Hermitian operator.
+
+        ``backend="table"`` (default) evaluates all terms in one pass through
+        the packed :meth:`repro.paulis.PauliTable.expectation_values` kernel;
+        ``backend="strings"`` is the original per-string loop, kept as the
+        cross-checked scalar reference.
+        """
+        if op.n != self.n:
+            raise ValueError("qubit count mismatch")
+        if backend == "table":
+            table, coeffs = op.to_table()
+            return float(table.expectation_values(self.amplitudes, coeffs).real)
+        if backend != "strings":
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'table' or 'strings'"
+            )
         total = 0.0 + 0j
         for string, coeff in op.terms():
             phi = self.copy()

@@ -97,6 +97,63 @@ class TestTrotter:
         assert c_light.cx_count < c_heavy.cx_count
 
 
+class TestTrotterUnitary:
+    """The compiled circuit must equal the ordered product of the exact
+    per-term propagators ``expm(-i·θ·P)`` — the factorization the circuit
+    claims to implement — including after peephole optimization."""
+
+    @staticmethod
+    def _expm_product(h: QubitOperator, time: float, steps: int = 1, suzuki_order: int = 1):
+        from repro.circuits.evolution import order_terms_lexicographic
+
+        terms = order_terms_lexicographic(h)
+        dt = time / steps
+        if suzuki_order == 2:
+            half = [(s, c * 0.5) for s, c in terms]
+            terms = half + half[::-1]
+        step = np.eye(1 << h.n, dtype=complex)
+        for string, coeff in terms:  # first factor applied first => leftmost last
+            step = expm(-1j * coeff * dt * string.to_matrix()) @ step
+        total = np.eye(1 << h.n, dtype=complex)
+        for _ in range(steps):
+            total = step @ total
+        return total
+
+    @pytest.mark.parametrize(
+        "labels",
+        [
+            {"XY": 0.3, "ZZ": -0.7, "IX": 0.45, "YI": 0.2},
+            {"XYZ": 0.4, "ZIY": -0.55, "IZZ": 0.3, "III": 0.9},
+            {"ZI": 1.0, "IZ": 1.0, "XX": 0.3},
+        ],
+    )
+    def test_matches_expm_product(self, labels):
+        h = QubitOperator.from_label_dict(labels)
+        t = 0.37
+        expected = self._expm_product(h, t)
+        circuit = trotter_circuit(h, time=t)
+        assert phase_free_allclose(circuit.to_matrix(), expected)
+
+    @pytest.mark.parametrize("labels", [{"XY": 0.3, "ZZ": -0.7, "IX": 0.45}])
+    def test_peephole_path_matches_expm_product(self, labels):
+        """The cancel/fuse/to_cx_u3 pipeline preserves the exact product."""
+        h = QubitOperator.from_label_dict(labels)
+        t = 0.51
+        expected = self._expm_product(h, t)
+        for pass_fn in (cancel_adjacent, fuse_single_qubit, optimize, to_cx_u3):
+            out = pass_fn(trotter_circuit(h, time=t))
+            assert phase_free_allclose(out.to_matrix(), expected), pass_fn.__name__
+
+    def test_multi_step_and_suzuki2(self):
+        h = QubitOperator.from_label_dict({"XI": 0.8, "ZZ": 0.6, "IY": -0.5})
+        for steps, suzuki in ((3, 1), (1, 2), (2, 2)):
+            expected = self._expm_product(h, 1.0, steps=steps, suzuki_order=suzuki)
+            circuit = trotter_circuit(h, time=1.0, steps=steps, suzuki_order=suzuki)
+            assert phase_free_allclose(circuit.to_matrix(), expected), (steps, suzuki)
+            opt = to_cx_u3(circuit)
+            assert phase_free_allclose(opt.to_matrix(), expected), (steps, suzuki)
+
+
 class TestOptimizer:
     def test_cancel_hh(self):
         c = Circuit(1)
