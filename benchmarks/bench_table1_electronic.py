@@ -79,13 +79,25 @@ def test_table1_shape(table1):
 
 
 @pytest.mark.parametrize("name", CASES[:3])
-def test_bench_hatt_construction(benchmark, name, table1):
+@pytest.mark.parametrize("backend", ["vector", "scalar"])
+def test_bench_hatt_construction(benchmark, name, backend, table1):
     case = electronic_case(name)
     benchmark.pedantic(
-        lambda: hatt_mapping(case.hamiltonian, n_modes=case.n_modes),
+        lambda: hatt_mapping(
+            case.hamiltonian, n_modes=case.n_modes, backend=backend
+        ),
         rounds=3,
         iterations=1,
     )
+
+
+def test_table1_backends_agree_end_to_end(table1):
+    """Construction backends yield the same mapping on a real molecule."""
+    case = electronic_case(CASES[0])
+    vec = hatt_mapping(case.hamiltonian, n_modes=case.n_modes, backend="vector")
+    sca = hatt_mapping(case.hamiltonian, n_modes=case.n_modes, backend="scalar")
+    assert vec.strings == sca.strings
+    assert vec.construction.trace == sca.construction.trace
 
 
 def test_bench_full_pipeline_h2(benchmark, table1):

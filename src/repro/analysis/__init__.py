@@ -14,7 +14,7 @@ from .pipeline import (
     evaluate_mapping,
     standard_mappings,
 )
-from .tables import format_table, results_dir, write_result
+from .tables import format_table, results_dir, write_result, write_result_json
 from .trotter_error import commutator_weight, empirical_trotter_error, trotter_error_bound
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "BASELINE_NAMES",
     "format_table",
     "write_result",
+    "write_result_json",
     "results_dir",
     "EnergyExperiment",
     "noisy_energy_experiment",

@@ -115,13 +115,20 @@ def compare_mappings(
     compile_circuit: bool = True,
     synthesis: str = "naive",
     include_unopt: bool = False,
+    hatt_backend: str = "vector",
 ) -> dict[str, MappingReport]:
-    """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian."""
+    """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian.
+
+    ``hatt_backend`` selects the HATT construction engine (``"vector"`` /
+    ``"scalar"``); both produce identical mappings, only compile time differs.
+    """
     mappings = standard_mappings(n_modes)
-    mappings["HATT"] = hatt_mapping(hamiltonian, n_modes=n_modes)
+    mappings["HATT"] = hatt_mapping(
+        hamiltonian, n_modes=n_modes, backend=hatt_backend
+    )
     if include_unopt:
         mappings["HATT-unopt"] = hatt_mapping(
-            hamiltonian, n_modes=n_modes, vacuum=False
+            hamiltonian, n_modes=n_modes, vacuum=False, backend=hatt_backend
         )
     return {
         name: evaluate_mapping(

@@ -6,10 +6,11 @@ corresponding table or figure) and writes it under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
-__all__ = ["format_table", "write_result", "results_dir"]
+__all__ = ["format_table", "write_result", "write_result_json", "results_dir"]
 
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:
@@ -41,3 +42,16 @@ def write_result(name: str, content: str) -> Path:
     path = results_dir() / f"{name}.txt"
     path.write_text(content + "\n")
     return path
+
+
+def write_result_json(name: str, payload: dict, path: str | Path | None = None) -> Path:
+    """Persist a machine-readable benchmark payload as JSON.
+
+    Defaults to ``results_dir()/<name>.json``; pass ``path`` to write a
+    committed artifact (e.g. the repo-root ``BENCH_fig12.json``) instead.
+    Keys are sorted so reruns produce stable diffs.
+    """
+    target = Path(path) if path is not None else results_dir() / f"{name}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

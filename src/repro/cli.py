@@ -16,6 +16,7 @@ import sys
 from .analysis import compare_mappings, format_table
 from .fermion import FermionOperator
 from .hatt import hatt_mapping
+from .hatt.construction import BACKENDS as HATT_BACKENDS
 from .mappings import (
     balanced_ternary_tree,
     bravyi_kitaev,
@@ -44,12 +45,14 @@ def _load_case(spec: str) -> FermionOperator:
 
 
 _MAPPING_FACTORIES = {
-    "jw": lambda h, n: jordan_wigner(n),
-    "bk": lambda h, n: bravyi_kitaev(n),
-    "btt": lambda h, n: balanced_ternary_tree(n),
-    "parity": lambda h, n: parity_mapping(n),
-    "hatt": lambda h, n: hatt_mapping(h, n_modes=n),
-    "hatt-unopt": lambda h, n: hatt_mapping(h, n_modes=n, vacuum=False),
+    "jw": lambda h, n, backend: jordan_wigner(n),
+    "bk": lambda h, n, backend: bravyi_kitaev(n),
+    "btt": lambda h, n, backend: balanced_ternary_tree(n),
+    "parity": lambda h, n, backend: parity_mapping(n),
+    "hatt": lambda h, n, backend: hatt_mapping(h, n_modes=n, backend=backend),
+    "hatt-unopt": lambda h, n, backend: hatt_mapping(
+        h, n_modes=n, vacuum=False, backend=backend
+    ),
 }
 
 
@@ -57,7 +60,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     h = _load_case(args.case)
     n = h.n_modes
     reports = compare_mappings(
-        h, n, compile_circuit=not args.no_circuit, include_unopt=args.unopt
+        h,
+        n,
+        compile_circuit=not args.no_circuit,
+        include_unopt=args.unopt,
+        hatt_backend=args.hatt_backend,
     )
     rows = [r.row() for r in reports.values()]
     print(format_table(
@@ -72,7 +79,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     h = _load_case(args.case)
     n = h.n_modes
     factory = _MAPPING_FACTORIES[args.mapping]
-    mapping = factory(h, n)
+    mapping = factory(h, n, args.hatt_backend)
     weight = mapping.map(h).pauli_weight()
     print(f"{mapping.name} mapping for {args.case}: {n} modes, "
           f"Pauli weight {weight}, vacuum preserved: "
@@ -108,12 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="skip circuit synthesis (Pauli weight only)")
     p_compare.add_argument("--unopt", action="store_true",
                            help="include HATT without vacuum pairing")
+    p_compare.add_argument("--hatt-backend", choices=HATT_BACKENDS,
+                           default="vector",
+                           help="HATT construction engine (identical output; "
+                                "'vector' is the fast packed-bitmask kernel)")
     p_compare.set_defaults(func=_cmd_compare)
 
     p_map = sub.add_parser("map", help="compile one mapping")
     p_map.add_argument("case")
     p_map.add_argument("--mapping", choices=sorted(_MAPPING_FACTORIES),
                        default="hatt")
+    p_map.add_argument("--hatt-backend", choices=HATT_BACKENDS,
+                       default="vector",
+                       help="HATT construction engine (ignored for non-HATT "
+                            "mappings)")
     p_map.add_argument("--output", help="save mapping JSON here")
     p_map.add_argument("--show-strings", action="store_true")
     p_map.set_defaults(func=_cmd_map)

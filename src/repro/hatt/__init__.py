@@ -1,5 +1,17 @@
 """HATT: Hamiltonian-Adaptive Ternary Tree construction (the paper's core)."""
 
-from .construction import HattConstruction, Selection, hatt_mapping
+from .construction import (
+    BACKENDS,
+    DEFAULT_MEMORY_BUDGET,
+    HattConstruction,
+    Selection,
+    hatt_mapping,
+)
 
-__all__ = ["HattConstruction", "Selection", "hatt_mapping"]
+__all__ = [
+    "HattConstruction",
+    "Selection",
+    "hatt_mapping",
+    "BACKENDS",
+    "DEFAULT_MEMORY_BUDGET",
+]

@@ -9,7 +9,7 @@ Hamiltonian (paper Fig. 5/7).
 Exact-and-fast weight evaluation
 --------------------------------
 After preprocessing, the Hamiltonian is a list of Majorana monomials — index
-subsets ``T ⊆ {0..2N}``.  Each working-set node ``O`` keeps an integer
+subsets ``T ⊆ {0..2N}``.  Each working-set node ``O`` keeps a term-membership
 bitmask ``m(O)`` over terms that currently contain it.  For a candidate
 triple ``(A, B, C)`` the operator a term acquires on qubit ``i`` depends only
 on ``k = |T ∩ {A,B,C}|``:
@@ -31,21 +31,72 @@ Vacuum-preserving pairing (Algorithm 2) restricts the search to ordered
 ``(O_X, O_Z)`` pairs and derives ``O_Y`` from the Z-descendant maps
 ``mdown``/``mup`` (Algorithm 3); pass ``cached=False`` to use the explicit
 tree traversals of Algorithm 2 instead of the O(1) maps.
+
+Construction backends
+---------------------
+``backend="vector"`` (default) stores the per-node masks as an
+``(n_nodes, n_words)`` packed-uint64 matrix
+(:func:`repro.paulis.table.pack_incidence`) and evaluates **all** candidate
+weights of a selection step in one broadcast NumPy kernel: the full
+upper-triangular ``(A, B, C)`` grid for Algorithm 1 and the ``(O_X, O_Z)``
+pair grid for Algorithms 2/3, chunked under ``memory_budget`` bytes of
+intermediate arrays.  State is maintained incrementally — row-XOR reduction
+into the matrix, ``mdown``/``mup`` as int arrays, O(1) swap-removal from the
+working array — and candidates are always enumerated over the uid-sorted
+working set, which reproduces the scalar backend's deterministic
+first-minimum tie-breaking bit for bit (the scalar working list stays
+uid-sorted by construction).  ``backend="scalar"`` keeps the original
+per-candidate Python big-int scan as the cross-checked reference; the
+property suite asserts identical traces and trees across the full
+``vacuum``/``cached`` matrix.
+
+Measured complexity (Fig. 12, ``HF = Σ_i M_i``)
+-----------------------------------------------
+Per selection step the paired scan evaluates ``O(N)`` candidate pairs times
+``O(N)`` Z-choices and the free scan ``O(N³)`` triples, each costing
+``O(terms/64)`` words; over ``N`` steps that is the paper's O(N³)
+(Algorithm 3) and O(N⁴) (Algorithm 1) term-popcount totals.  The fitted
+log-log slopes in ``BENCH_fig12.json`` sit *below* those exponents for both
+backends (scalar ≈ N^2.7 vs vector ≈ N^1.2 for HATT, ≈ N^4.1 vs N^1.8–2.6
+for the free variant on the bench sizes): the Fig. 12 Hamiltonian has only
+``2N`` single-index terms, so the per-candidate popcount stays a word or
+two throughout and fixed Python/NumPy per-step constants — not the
+asymptotic word count — dominate at small ``N``, flattening the measured
+curves.  The paper's exponents are upper bounds that the sweep approaches
+from below as ``N`` (and the term count) grows — visibly so for the scalar
+free scan, whose measured slope already matches the predicted N⁴.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable
+
+import numpy as np
 
 from ..fermion import FermionOperator, MajoranaOperator
 from ..mappings.base import FermionQubitMapping
-from ..mappings.tree import TernaryTree, TreeNode
+from ..mappings.tree import TernaryTree, TreeNode, tree_from_uid_arrays
+from ..paulis.table import pack_incidence
 
-__all__ = ["HattConstruction", "hatt_mapping", "Selection"]
+__all__ = [
+    "HattConstruction",
+    "hatt_mapping",
+    "Selection",
+    "BACKENDS",
+    "DEFAULT_MEMORY_BUDGET",
+]
 
 #: One construction step: (qubit, (uid_X, uid_Y, uid_Z), weight_on_qubit).
 Selection = tuple[int, tuple[int, int, int], int]
+
+#: Supported construction backends.
+BACKENDS = ("vector", "scalar")
+
+#: Default cap on the vector backend's intermediate candidate-grid arrays.
+DEFAULT_MEMORY_BUDGET = 128 * 1024 * 1024
+
+#: Sentinel weight for masked-out candidates in the broadcast kernels.
+_INF = np.iinfo(np.int64).max
 
 
 class HattConstruction:
@@ -64,6 +115,14 @@ class HattConstruction:
         Only meaningful with ``vacuum=True``.  ``True`` → Algorithm 3's O(1)
         ``mdown``/``mup`` maps; ``False`` → explicit O(N) tree traversals.
         Both produce identical trees (tested); only the complexity differs.
+    backend:
+        ``"vector"`` (default) → packed-bitmask broadcast kernels evaluating
+        every candidate of a step at once; ``"scalar"`` → the original
+        per-candidate Python scan.  Both produce identical traces and trees
+        (tested); only the speed differs.
+    memory_budget:
+        Approximate byte cap on the vector backend's per-step intermediate
+        arrays; large candidate grids are chunked to stay under it.
     """
 
     def __init__(
@@ -72,6 +131,8 @@ class HattConstruction:
         n_modes: int,
         vacuum: bool = True,
         cached: bool = True,
+        backend: str = "vector",
+        memory_budget: int | None = None,
     ):
         if n_modes < 1:
             raise ValueError("need at least one fermionic mode")
@@ -80,29 +141,86 @@ class HattConstruction:
                 f"Hamiltonian touches Majorana index {hamiltonian.n_majoranas - 1} "
                 f"but n_modes={n_modes} provides only indices < {2 * n_modes}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.n = n_modes
         self.vacuum = vacuum
         self.cached = cached
+        self.backend = backend
+        self.memory_budget = (
+            DEFAULT_MEMORY_BUDGET if memory_budget is None else int(memory_budget)
+        )
+        if self.memory_budget <= 0:
+            raise ValueError("memory_budget must be positive")
         self.terms: list[tuple[int, ...]] = hamiltonian.support_terms()
+        self.trace: list[Selection] = []
+        #: Child-uid triples per qubit, appended by :meth:`_reduce`.
+        self._children: list[tuple[int, int, int]] = []
+        self._done = False
 
         n_leaves = 2 * n_modes + 1
+        self._n_leaves = n_leaves
+        if backend == "vector":
+            self._init_vector(n_leaves)
+        else:
+            self._init_scalar(n_leaves)
+
+    # ------------------------------------------------------------------
+    # Backend state initialization
+    # ------------------------------------------------------------------
+    def _init_scalar(self, n_leaves: int) -> None:
+        n_total = n_leaves + self.n
         self.nodes: list[TreeNode] = [TreeNode(leaf_index=i) for i in range(n_leaves)]
-        # Term-membership bitmask per node (uid-indexed).
+        # Term-membership bitmask per node (uid-indexed), as Python big-ints.
         self.masks: list[int] = [0] * n_leaves
         for t, term in enumerate(self.terms):
             bit = 1 << t
             for idx in term:
                 self.masks[idx] |= bit
-        # Working set U (ordered for deterministic tie-breaking).
+        # Working set U.  Removals preserve order and the new parent always
+        # carries the largest uid, so the list stays uid-sorted throughout —
+        # the invariant the vector backend relies on for identical
+        # tie-breaking.
         self.working: list[int] = list(range(n_leaves))
+        # Persistent membership flags (uid-indexed), maintained by _reduce so
+        # the Algorithm-2 traversal never rebuilds a set per call.
+        self._in_working = bytearray(n_total)
+        for i in range(n_leaves):
+            self._in_working[i] = 1
         # Algorithm 3 maps: uid -> descZ leaf uid, and inverse.
         self.mdown: dict[int, int] = {i: i for i in range(n_leaves)}
         self.mup: dict[int, int] = {i: i for i in range(n_leaves)}
-        self.trace: list[Selection] = []
-        self._done = False
+
+    def _init_vector(self, n_leaves: int) -> None:
+        n_total = n_leaves + self.n
+        # Packed term-membership masks, one row per uid; parent rows are
+        # filled in place by the row-XOR reduction.
+        rows = pack_incidence(self.terms, n_leaves)
+        self._rows = np.zeros((n_total, rows.shape[1]), dtype=np.uint64)
+        self._rows[:n_leaves] = rows
+        self._n_nodes = n_leaves
+        # Working set as a swap-managed prefix of _warr plus a position map:
+        # removal moves the last live entry into the freed slot (O(1)).
+        self._warr = np.full(n_total, -1, dtype=np.intp)
+        self._warr[:n_leaves] = np.arange(n_leaves, dtype=np.intp)
+        self._wpos = np.full(n_total, -1, dtype=np.intp)
+        self._wpos[:n_leaves] = np.arange(n_leaves, dtype=np.intp)
+        self._n_working = n_leaves
+        self._in_working_arr = np.zeros(n_total, dtype=bool)
+        self._in_working_arr[:n_leaves] = True
+        # Algorithm 3 maps and tree topology as flat int arrays.
+        self._mdown = np.full(n_total, -1, dtype=np.intp)
+        self._mdown[:n_leaves] = np.arange(n_leaves, dtype=np.intp)
+        # One dummy slot past the leaves: indexing with the (out-of-range)
+        # pair partner of the discarded leaf 2N yields -1 instead of a bounds
+        # check, so the paired kernel needs no guard before the gather.
+        self._mup = np.full(n_leaves + 1, -1, dtype=np.intp)
+        self._mup[:n_leaves] = np.arange(n_leaves, dtype=np.intp)
+        self._parent = np.full(n_total, -1, dtype=np.intp)
+        self._child_z = np.full(n_total, -1, dtype=np.intp)
 
     # ------------------------------------------------------------------
-    # Weight oracle
+    # Weight oracle (scalar)
     # ------------------------------------------------------------------
     def _weight_on_qubit(self, a: int, b: int, c: int) -> int:
         ma, mb, mc = self.masks[a], self.masks[b], self.masks[c]
@@ -117,18 +235,33 @@ class HattConstruction:
         node = self.nodes[uid].desc_z()
         return node.leaf_index  # leaves have uid == leaf_index
 
-    def _traverse_up(self, leaf_uid: int, working_set: set[int]) -> int:
+    def _traverse_up(self, leaf_uid: int) -> int:
         if self.cached:
             return self.mup[leaf_uid]
         node = self.nodes[leaf_uid]
         uid = leaf_uid
-        while uid not in working_set:
+        while not self._in_working[uid]:
             node = node.parent
             uid = self._uid_of[id(node)]
         return uid
 
+    def _desc_z_vec(self, uid: int) -> int:
+        if self.cached:
+            return int(self._mdown[uid])
+        while self._child_z[uid] >= 0:
+            uid = int(self._child_z[uid])
+        return uid
+
+    def _traverse_up_vec(self, leaf_uid: int) -> int:
+        if self.cached:
+            return int(self._mup[leaf_uid])
+        uid = leaf_uid
+        while not self._in_working_arr[uid]:
+            uid = int(self._parent[uid])
+        return uid
+
     # ------------------------------------------------------------------
-    # Selection rules
+    # Selection rules (scalar reference)
     # ------------------------------------------------------------------
     def _select_free(self, qubit: int) -> tuple[tuple[int, int, int], int]:
         """Algorithm 1: scan unordered triples (weight is symmetric in the
@@ -147,7 +280,6 @@ class HattConstruction:
     def _select_paired(self, qubit: int) -> tuple[tuple[int, int, int], int]:
         """Algorithm 2: pick (O_X, O_Z); O_Y is forced by leaf pairing."""
         last_leaf = 2 * self.n
-        working_set = set(self.working)
         best: tuple[int, int, int] | None = None
         best_w = None
         for ox in self.working:
@@ -156,7 +288,7 @@ class HattConstruction:
                 # S_2N is the discarded string and never pairs (paper §IV-B).
                 continue
             y_leaf = x_leaf + 1 if x_leaf % 2 == 0 else x_leaf - 1
-            oy = self._traverse_up(y_leaf, working_set)
+            oy = self._traverse_up(y_leaf)
             if oy == ox:
                 continue
             # The (X, Y) roles must put the even leaf under the X branch.
@@ -167,6 +299,12 @@ class HattConstruction:
                 w = self._weight_on_qubit(cx, cy, oz)
                 if best_w is None or w < best_w:
                     best_w, best = w, (cx, cy, oz)
+                    if w == 0:
+                        break
+            if best_w == 0:
+                # Weight can't go below zero; the first zero-weight candidate
+                # in scan order is final, so skip the remaining evaluation.
+                break
         if best is None or best_w is None:
             raise RuntimeError(
                 "no valid (O_X, O_Z) selection found — tree state is corrupt"
@@ -174,9 +312,186 @@ class HattConstruction:
         return best, best_w
 
     # ------------------------------------------------------------------
+    # Selection rules (vectorized broadcast kernels)
+    # ------------------------------------------------------------------
+    def _sorted_working(self) -> np.ndarray:
+        """Live working-set uids in ascending order.
+
+        The swap-managed array is unordered; sorting restores the scalar
+        backend's (always uid-sorted) scan order so both backends break
+        weight ties identically.
+        """
+        return np.sort(self._warr[: self._n_working])
+
+    @staticmethod
+    def _acc_dtype(n_words: int):
+        """Smallest unsigned dtype that can hold a ``64 * n_words`` popcount."""
+        return np.uint16 if n_words <= 1023 else np.uint32
+
+    def _select_free_vector(self, qubit: int) -> tuple[tuple[int, int, int], int]:
+        """Algorithm 1, one broadcast kernel over all C(m, 3) candidate triples.
+
+        Enumerates exactly the upper-triangular ``a < b < c`` candidates: the
+        ``(b, c)`` pairs come from ``np.triu_indices`` and each pair is
+        repeated once per valid ``a`` (``a < b``) via arange arithmetic, so
+        no dense cube is built and no sentinel masking is needed.  Pairs are
+        chunked so the candidate arrays stay under ``memory_budget`` bytes.
+        The winner is the minimum-weight candidate with the lexicographically
+        smallest ``(a, b, c)`` — exactly the scalar scan's first strict
+        minimum over ``combinations``.
+        """
+        uids = self._sorted_working()
+        m = len(uids)
+        rows = self._rows[uids]
+        n_words = rows.shape[1]
+        acc_dtype = self._acc_dtype(n_words)
+        # Per-word flat columns: every kernel pass stays 1-D, so popcounts
+        # are plain uint8 vectors accumulated across words instead of a
+        # (candidates, n_words) reduction.
+        cols = [rows[:, k] for k in range(n_words)]
+        b_all, c_all = np.triu_indices(m, k=1)
+        # Pairs with b == 0 admit no a < b.
+        has_a = b_all > 0
+        b_all, c_all = b_all[has_a], c_all[has_a]
+        # ~ (3 flat word temps per word pass + index/weight vectors) per
+        # candidate; a pair contributes at most m candidates.  Each pair
+        # belongs to exactly one chunk, so the per-chunk OR/AND pair grids
+        # below cost no extra compute and keep peak memory under the budget.
+        per_pair = m * (3 * n_words + 4) * 8
+        chunk = max(1, self.memory_budget // per_pair)
+        best_w = _INF
+        best_key = None
+        best: tuple[int, int, int] | None = None
+        m2 = m * m
+        for p0 in range(0, len(b_all), chunk):
+            p1 = min(p0 + chunk, len(b_all))
+            b_chunk = b_all[p0:p1]
+            c_chunk = c_all[p0:p1]
+            counts = b_chunk  # number of valid a's per pair
+            total = int(counts.sum())
+            pair = np.repeat(np.arange(p1 - p0, dtype=np.intp), counts)
+            a = np.arange(total, dtype=np.intp) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            w = None
+            for col in cols:
+                or_k = col[b_chunk] | col[c_chunk]
+                and_k = col[b_chunk] & col[c_chunk]
+                aw = col[a]
+                wk = np.bitwise_count((aw | or_k[pair]) & ~(aw & and_k[pair]))
+                if w is None:
+                    w = wk if n_words == 1 else wk.astype(acc_dtype)
+                else:
+                    w += wk
+            w_min = int(w.min())
+            if w_min < best_w or (best_key is not None and w_min == best_w):
+                sel = np.flatnonzero(w == w_min)
+                keys = a[sel] * m2 + b_chunk[pair[sel]] * m + c_chunk[pair[sel]]
+                k = int(keys.min())
+                if w_min < best_w or k < best_key:
+                    best_w = w_min
+                    best_key = k
+                    best = (
+                        int(uids[k // m2]),
+                        int(uids[(k // m) % m]),
+                        int(uids[k % m]),
+                    )
+            if best_w == 0 and p1 < len(b_all):
+                # Weight floor reached; remaining chunks hold pairs that are
+                # lexicographically later, so their candidate keys all exceed
+                # best_key once the pair prefix alone does — safe to stop.
+                if best_key < int(b_all[p1]) * m + int(c_all[p1]):
+                    break
+        assert best is not None
+        return best, best_w
+
+    def _select_paired_vector(self, qubit: int) -> tuple[tuple[int, int, int], int]:
+        """Algorithms 2/3, one broadcast kernel over the (O_X, O_Z) grid.
+
+        Valid ``O_X`` rows (pair partner exists and differs) are resolved via
+        the int-array ``mdown``/``mup`` maps (or the explicit array
+        traversals when ``cached=False``), then every ``O_Z`` column is
+        scored at once; masked entries take a sentinel weight so the flat
+        row-major argmin reproduces the scalar double loop's tie-breaking.
+        """
+        uids = self._sorted_working()
+        m = len(uids)
+        last_leaf = 2 * self.n
+        if self.cached:
+            x_leaf = self._mdown[uids]
+            # The dummy _mup slot maps the discarded leaf's nonexistent
+            # partner to -1, so the gather needs no validity guard.
+            oy = self._mup[x_leaf ^ 1]
+        else:
+            x_leaf = np.fromiter(
+                (self._desc_z_vec(int(u)) for u in uids), dtype=np.intp, count=m
+            )
+            oy = np.fromiter(
+                (self._traverse_up_vec(int(x) ^ 1) if x != last_leaf else -1
+                 for x in x_leaf),
+                dtype=np.intp,
+                count=m,
+            )
+        r_idx = np.flatnonzero((x_leaf != last_leaf) & (oy != uids) & (oy >= 0))
+        if r_idx.size == 0:
+            raise RuntimeError(
+                "no valid (O_X, O_Z) selection found — tree state is corrupt"
+            )
+        ox_r = uids[r_idx]
+        oy_r = oy[r_idx]
+        even = (x_leaf[r_idx] & 1) == 0
+        cx = np.where(even, ox_r, oy_r)
+        cy = np.where(even, oy_r, ox_r)
+        n_words = self._rows.shape[1]
+        acc_dtype = self._acc_dtype(n_words)
+        # Per-word flat precomputations; see _select_free_vector.
+        cols = [self._rows[:, k] for k in range(n_words)]
+        pre_or = [(col[cx] | col[cy])[:, None] for col in cols]
+        pre_and = [(col[cx] & col[cy])[:, None] for col in cols]
+        z_rows = [col[uids][None, :] for col in cols]
+        # Weights on one word never exceed 64, so the dtype max is a safe
+        # larger-than-any-weight sentinel for the masked candidates.
+        bad = np.uint8(255) if n_words == 1 else acc_dtype(np.iinfo(acc_dtype).max)
+        per_row = m * (4 * n_words + 2) * 8
+        chunk = max(1, self.memory_budget // per_row)
+        best_w = _INF
+        best: tuple[int, int, int] | None = None
+        for r0 in range(0, len(r_idx), chunk):
+            r1 = min(r0 + chunk, len(r_idx))
+            w = None
+            for po_k, pa_k, z_k in zip(pre_or, pre_and, z_rows):
+                po = po_k[r0:r1]
+                pa = pa_k[r0:r1]
+                wk = np.bitwise_count((po | z_k) & ~(pa & z_k))
+                if w is None:
+                    w = wk if n_words == 1 else wk.astype(acc_dtype)
+                else:
+                    w += wk
+            w[(uids[None, :] == ox_r[r0:r1, None])
+              | (uids[None, :] == oy_r[r0:r1, None])] = bad
+            flat = int(np.argmin(w))
+            w_min = int(w.reshape(-1)[flat])
+            if w_min < best_w:
+                lr, j = np.unravel_index(flat, w.shape)
+                r = r0 + int(lr)
+                best_w = w_min
+                best = (int(cx[r]), int(cy[r]), int(uids[j]))
+            if best_w == 0:
+                break
+        assert best is not None
+        return best, best_w
+
+    # ------------------------------------------------------------------
     # Reduction (paper Fig. 7 step 3)
     # ------------------------------------------------------------------
     def _reduce(self, qubit: int, children: tuple[int, int, int]) -> None:
+        self._children.append(children)
+        if self.backend == "vector":
+            self._reduce_vector(children)
+        else:
+            self._reduce_scalar(qubit, children)
+
+    def _reduce_scalar(self, qubit: int, children: tuple[int, int, int]) -> None:
         cx, cy, cz = children
         parent_uid = len(self.nodes)
         parent = TreeNode(qubit=qubit)
@@ -187,12 +502,42 @@ class HattConstruction:
         self.masks.append(self.masks[cx] ^ self.masks[cy] ^ self.masks[cz])
         for uid in children:
             self.working.remove(uid)
+            self._in_working[uid] = 0
         self.working.append(parent_uid)
+        self._in_working[parent_uid] = 1
         # Maintain the Algorithm-3 maps: the new parent inherits its Z child's
         # Z-descendant; (descZ(X), descZ(Y)) just became a Majorana pair.
         z_desc = self.mdown[cz]
         self.mdown[parent_uid] = z_desc
         self.mup[z_desc] = parent_uid
+
+    def _reduce_vector(self, children: tuple[int, int, int]) -> None:
+        cx, cy, cz = children
+        parent_uid = self._n_nodes
+        self._n_nodes += 1
+        self._rows[parent_uid] = (
+            self._rows[cx] ^ self._rows[cy] ^ self._rows[cz]
+        )
+        for uid in children:
+            self._parent[uid] = parent_uid
+        self._child_z[parent_uid] = cz
+        # O(1) swap-removal: the last live entry fills the freed slot.
+        for uid in children:
+            pos = int(self._wpos[uid])
+            last = self._n_working - 1
+            last_uid = int(self._warr[last])
+            self._warr[pos] = last_uid
+            self._wpos[last_uid] = pos
+            self._wpos[uid] = -1
+            self._n_working = last
+            self._in_working_arr[uid] = False
+        self._warr[self._n_working] = parent_uid
+        self._wpos[parent_uid] = self._n_working
+        self._n_working += 1
+        self._in_working_arr[parent_uid] = True
+        z_desc = int(self._mdown[cz])
+        self._mdown[parent_uid] = z_desc
+        self._mup[z_desc] = parent_uid
 
     # ------------------------------------------------------------------
     # Driver
@@ -200,17 +545,21 @@ class HattConstruction:
     def run(self) -> TernaryTree:
         if self._done:
             raise RuntimeError("construction already ran")
-        self._uid_of = {id(node): uid for uid, node in enumerate(self.nodes)}
+        if self.backend == "vector":
+            select = self._select_paired_vector if self.vacuum else self._select_free_vector
+        else:
+            self._uid_of = {id(node): uid for uid, node in enumerate(self.nodes)}
+            select = self._select_paired if self.vacuum else self._select_free
         for qubit in range(self.n):
-            if self.vacuum:
-                children, w = self._select_paired(qubit)
-            else:
-                children, w = self._select_free(qubit)
+            children, w = select(qubit)
             self.trace.append((qubit, children, w))
             self._reduce(qubit, children)
         self._done = True
-        (root_uid,) = self.working
-        tree = TernaryTree(self.nodes[root_uid], self.n)
+        if self.backend == "vector":
+            tree = tree_from_uid_arrays(self._children, self.n)
+        else:
+            (root_uid,) = self.working
+            tree = TernaryTree(self.nodes[root_uid], self.n)
         tree.validate()
         return tree
 
@@ -218,6 +567,12 @@ class HattConstruction:
     def step_weights(self) -> list[int]:
         """Greedy per-qubit weights chosen at each step (diagnostics)."""
         return [w for _, _, w in self.trace]
+
+    @property
+    def children_uids(self) -> list[tuple[int, int, int]]:
+        """Per-qubit (X, Y, Z) child-uid triples under the bottom-up numbering
+        consumed by :func:`repro.mappings.tree.tree_from_uid_arrays`."""
+        return list(self._children)
 
 
 def _to_majorana(
@@ -235,6 +590,8 @@ def hatt_mapping(
     n_modes: int | None = None,
     vacuum: bool = True,
     cached: bool = True,
+    backend: str = "vector",
+    memory_budget: int | None = None,
 ) -> FermionQubitMapping:
     """Compile a Hamiltonian-adaptive ternary-tree fermion-to-qubit mapping.
 
@@ -246,7 +603,14 @@ def hatt_mapping(
     majorana = _to_majorana(hamiltonian)
     if n_modes is None:
         n_modes = majorana.n_modes
-    construction = HattConstruction(majorana, n_modes, vacuum=vacuum, cached=cached)
+    construction = HattConstruction(
+        majorana,
+        n_modes,
+        vacuum=vacuum,
+        cached=cached,
+        backend=backend,
+        memory_budget=memory_budget,
+    )
     tree = construction.run()
     strings = tree.strings_by_leaf_index()
     name = "HATT" if vacuum else "HATT-unopt"

@@ -12,7 +12,14 @@ from .standard import (
     mapping_from_tree,
     parity_mapping,
 )
-from .tree import TernaryTree, TreeNode, balanced_tree, jw_tree, parity_tree
+from .tree import (
+    TernaryTree,
+    TreeNode,
+    balanced_tree,
+    jw_tree,
+    parity_tree,
+    tree_from_uid_arrays,
+)
 
 __all__ = [
     "FermionQubitMapping",
@@ -38,4 +45,5 @@ __all__ = [
     "balanced_tree",
     "jw_tree",
     "parity_tree",
+    "tree_from_uid_arrays",
 ]

@@ -8,11 +8,18 @@ according to the branch the path takes, and I otherwise.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from ..paulis import PauliString
 
-__all__ = ["TreeNode", "TernaryTree", "balanced_tree", "jw_tree", "parity_tree"]
+__all__ = [
+    "TreeNode",
+    "TernaryTree",
+    "tree_from_uid_arrays",
+    "balanced_tree",
+    "jw_tree",
+    "parity_tree",
+]
 
 BRANCHES = ("X", "Y", "Z")
 
@@ -149,6 +156,46 @@ class TernaryTree:
             strings.append(self.string_for_leaf(y_leaf))
         discarded = self.string_for_leaf(self.root.desc_z())
         return strings, discarded
+
+
+# ----------------------------------------------------------------------
+# Bulk construction from uid arrays
+# ----------------------------------------------------------------------
+def tree_from_uid_arrays(
+    children: Sequence[Sequence[int]], n_modes: int
+) -> TernaryTree:
+    """Bulk-build a complete ternary tree from per-qubit child-uid triples.
+
+    ``children[q]`` holds the ``(X, Y, Z)`` child uids of qubit ``q``'s
+    internal node under the bottom-up uid numbering used by the HATT
+    construction: uids ``0..2·n_modes`` are leaves (uid == leaf index) and
+    uid ``2·n_modes + 1 + q`` is qubit ``q``'s node.  All nodes are allocated
+    up front and wired in one pass, so a construction backend can work purely
+    on integer arrays and export the :class:`TreeNode` structure at the end.
+
+    The root is the unique parentless node; callers should still
+    :meth:`TernaryTree.validate` the result.
+    """
+    if len(children) != n_modes:
+        raise ValueError(
+            f"expected {n_modes} child triples for {n_modes} modes, got {len(children)}"
+        )
+    n_leaves = 2 * n_modes + 1
+    nodes = [TreeNode(leaf_index=i) for i in range(n_leaves)]
+    nodes.extend(TreeNode(qubit=q) for q in range(n_modes))
+    for q, triple in enumerate(children):
+        if len(triple) != 3:
+            raise ValueError(f"qubit {q} has {len(triple)} children, expected 3")
+        parent = nodes[n_leaves + q]
+        for branch, uid in zip(BRANCHES, triple):
+            uid = int(uid)
+            if not 0 <= uid < len(nodes):
+                raise ValueError(f"qubit {q} references unknown uid {uid}")
+            parent.attach(branch, nodes[uid])
+    roots = [node for node in nodes if node.parent is None]
+    if len(roots) != 1:
+        raise ValueError(f"expected exactly one root, found {len(roots)}")
+    return TernaryTree(roots[0], n_modes)
 
 
 # ----------------------------------------------------------------------

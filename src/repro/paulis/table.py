@@ -29,7 +29,12 @@ import numpy as np
 from .pauli import PauliString
 from .pauli_sum import DEFAULT_TOLERANCE, QubitOperator
 
-__all__ = ["PauliTable", "pack_monomials", "WORD_BITS"]
+__all__ = [
+    "PauliTable",
+    "pack_monomials",
+    "pack_incidence",
+    "WORD_BITS",
+]
 
 #: Number of qubits packed into one table word.
 WORD_BITS = 64
@@ -73,6 +78,38 @@ def _words_to_masks(words: np.ndarray) -> list[int]:
 def _popcount_rows(words: np.ndarray) -> np.ndarray:
     """Total set bits per row (summed over words), as int64."""
     return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+
+def pack_incidence(sets: Sequence[Sequence[int]], n_rows: int) -> np.ndarray:
+    """Pack membership sets into a ``(n_rows, n_words)`` uint64 bitmask matrix.
+
+    Bit ``j`` of row ``i`` is set iff ``i ∈ sets[j]`` — the transposed
+    incidence matrix of the sets, 64 bits per word.  This is the layout the
+    HATT construction uses for per-node term-membership masks: row ``i`` is
+    the packed equivalent of the Python-int mask
+    ``Σ_j (i in sets[j]) << j``.
+    """
+    n_bits = len(sets)
+    out = np.zeros((n_rows, _n_words(n_bits)), dtype=np.uint64)
+    rows: list[int] = []
+    cols: list[int] = []
+    bits: list[np.uint64] = []
+    for j, members in enumerate(sets):
+        word, b = divmod(j, WORD_BITS)
+        bit = np.uint64(1 << b)
+        for i in members:
+            if not 0 <= i < n_rows:
+                raise ValueError(f"set {j} contains index {i} outside 0..{n_rows - 1}")
+            rows.append(i)
+            cols.append(word)
+            bits.append(bit)
+    if rows:
+        np.bitwise_or.at(
+            out,
+            (np.array(rows, dtype=np.intp), np.array(cols, dtype=np.intp)),
+            np.array(bits, dtype=np.uint64),
+        )
+    return out
 
 
 def pack_monomials(monomials: Sequence[Sequence[int]]) -> np.ndarray:

@@ -22,19 +22,21 @@ def paper_motivation_hamiltonian() -> MajoranaOperator:
 
 
 class TestPaperExamples:
-    def test_eq3_first_step_matches_paper(self):
+    @pytest.mark.parametrize("backend", ["vector", "scalar"])
+    def test_eq3_first_step_matches_paper(self, backend):
         """The paper's first step picks O0, O1, O6 with qubit-0 weight 1."""
         hm = MajoranaOperator.from_fermion_operator(paper_eq3_hamiltonian())
-        c = HattConstruction(hm, 3, vacuum=True)
+        c = HattConstruction(hm, 3, vacuum=True, backend=backend)
         c.run()
         qubit, children, w = c.trace[0]
         assert qubit == 0
         assert sorted(children) == [0, 1, 6]
         assert w == 1
 
-    def test_eq3_second_step_weight(self):
+    @pytest.mark.parametrize("backend", ["vector", "scalar"])
+    def test_eq3_second_step_weight(self, backend):
         hm = MajoranaOperator.from_fermion_operator(paper_eq3_hamiltonian())
-        c = HattConstruction(hm, 3, vacuum=True)
+        c = HattConstruction(hm, 3, vacuum=True, backend=backend)
         c.run()
         assert c.trace[1][2] == 2  # paper: total Pauli weight 2 on qubit 1
 
@@ -108,15 +110,16 @@ class TestValidity:
 class TestCacheEquivalence:
     """Algorithm 3's O(1) maps must reproduce Algorithm 2's traversals exactly."""
 
+    @pytest.mark.parametrize("backend", ["vector", "scalar"])
     @pytest.mark.parametrize("n", [2, 3, 5, 7])
-    def test_identical_trees(self, n):
+    def test_identical_trees(self, n, backend):
         hf = FermionOperator()
         for j in range(n):
             hf = hf + FermionOperator.number(j)
         for j in range(n - 1):
             hf = hf + FermionOperator.hopping(j, j + 1, 0.3 * (j + 1))
-        cached = hatt_mapping(hf, n_modes=n, cached=True)
-        uncached = hatt_mapping(hf, n_modes=n, cached=False)
+        cached = hatt_mapping(hf, n_modes=n, cached=True, backend=backend)
+        uncached = hatt_mapping(hf, n_modes=n, cached=False, backend=backend)
         assert cached.strings == uncached.strings
         assert cached.construction.trace == uncached.construction.trace
 

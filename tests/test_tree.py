@@ -138,3 +138,54 @@ class TestVacuumPairing:
             for i in range(len(all_strings)):
                 for j in range(i + 1, len(all_strings)):
                     assert all_strings[i].anticommutes_with(all_strings[j])
+
+
+class TestTreeFromUidArrays:
+    """Bulk export from uid arrays must match node-by-node construction."""
+
+    def test_matches_incremental_build(self):
+        from repro.fermion import FermionOperator, MajoranaOperator
+        from repro.hatt import HattConstruction
+        from repro.mappings import tree_from_uid_arrays
+
+        hf = FermionOperator.number(0) + FermionOperator.hopping(0, 1)
+        hm = MajoranaOperator.from_fermion_operator(hf)
+        for vacuum in (True, False):
+            c = HattConstruction(hm, 3, vacuum=vacuum, backend="scalar")
+            incremental = c.run()
+            bulk = tree_from_uid_arrays(c.children_uids, 3)
+            bulk.validate()
+            assert (
+                bulk.strings_by_leaf_index() == incremental.strings_by_leaf_index()
+            )
+
+    def test_caterpillar_from_uids(self):
+        from repro.mappings import tree_from_uid_arrays
+
+        # Bottom-up caterpillar on 2 modes: qubit 0 (uid 5) parents leaves
+        # (0, 1, 2); qubit 1 (uid 6, the root) parents leaves 3, 4 and
+        # qubit 0's node on its Z branch.
+        tree = tree_from_uid_arrays([(0, 1, 2), (3, 4, 5)], 2)
+        tree.validate()
+        assert tree.n_internal == 2
+        assert tree.root.qubit == 1
+        assert tree.root.children["Z"].qubit == 0
+
+    def test_wrong_length_rejected(self):
+        from repro.mappings import tree_from_uid_arrays
+
+        with pytest.raises(ValueError):
+            tree_from_uid_arrays([(0, 1, 2)], 2)
+
+    def test_unknown_uid_rejected(self):
+        from repro.mappings import tree_from_uid_arrays
+
+        with pytest.raises(ValueError):
+            tree_from_uid_arrays([(0, 1, 99)], 1)
+
+    def test_multiple_roots_rejected(self):
+        from repro.mappings import tree_from_uid_arrays
+
+        # Two internal nodes that each parent only leaves: disconnected.
+        with pytest.raises(ValueError):
+            tree_from_uid_arrays([(0, 1, 2), (3, 4, 0)], 2)
