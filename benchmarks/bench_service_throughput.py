@@ -1,0 +1,223 @@
+"""Compilation-service throughput: cold-vs-warm latency and suite fan-out.
+
+Two claims are enforced:
+
+* **warm floor** — a warm cache hit (disk artifact or memory LRU) returns an
+  LiH-scale mapping ≥ ``WARM_FLOOR``× faster than the cold compile that
+  produced it, strings bit-identical;
+* **parallel floor** — ``compile_suite`` with ``PARALLEL_JOBS`` workers
+  finishes a balanced multi-case suite ≥ ``PARALLEL_FLOOR``× faster than one
+  worker.  This assert needs real cores: on machines with fewer than
+  ``PARALLEL_JOBS`` CPUs the measurement is still recorded in the JSON
+  payload (with ``cpu_count`` for context) but the floor test skips.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke step) for a reduced suite that
+still enforces the warm floor and the all-hits warm pass.  Results go to
+``benchmarks/results/`` and, for canonical non-smoke runs, the committed
+repo-root ``BENCH_service.json``.
+
+Methodology note: every case Hamiltonian is built once before any timer
+starts (molecular cases run a Hartree–Fock solve on first touch) — the
+benchmark measures the mapping service, not integral generation.
+"""
+
+import os
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import full_run
+from repro.analysis import format_table, write_result, write_result_json
+from repro.models import load_case
+from repro.service import MappingService, MappingSpec, compile_suite
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+
+#: Acceptance floors (ISSUE 4): warm hit ≥ 20x cold; 4 workers ≥ 2x serial.
+WARM_FLOOR = 20.0
+PARALLEL_FLOOR = 2.0
+PARALLEL_JOBS = 4
+
+#: LiH-scale cold/warm case (~1.5k terms, ~0.1 s compile).
+COLD_CASE = "LiH_sto3g"
+
+if SMOKE:
+    # Builds are cheap (no multi-second SCF cases); serial compile ~1 s so the
+    # parallel measurement stays meaningful on 4-core CI runners.
+    SUITE_CASES = [
+        "LiH_sto3g", "NH_sto3g", "BeH2_sto3g", "H2O_sto3g",
+        "neutrino:4x2F", "neutrino:5x2F", "H2_631g", "hubbard:3x3",
+    ]
+elif full_run():
+    SUITE_CASES = [
+        "LiH_sto3g", "NH_sto3g", "BeH2_sto3g", "H2O_sto3g",
+        "O2_sto3g_frz", "H2O_sto3g_frz", "BeH2_sto3g_frz", "NH_sto3g_frz",
+        "neutrino:4x2F", "neutrino:5x2F", "H2_631g", "hubbard:3x3",
+        "O2_sto3g", "CH4_sto3g_frz",
+    ]
+else:
+    SUITE_CASES = [
+        "LiH_sto3g", "NH_sto3g", "BeH2_sto3g", "H2O_sto3g",
+        "O2_sto3g_frz", "H2O_sto3g_frz", "BeH2_sto3g_frz", "NH_sto3g_frz",
+        "neutrino:4x2F", "neutrino:5x2F", "H2_631g", "hubbard:3x3",
+    ]
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def _fresh_dir(base: Path, name: str) -> str:
+    path = base / name
+    shutil.rmtree(path, ignore_errors=True)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def service_bench(tmp_path_factory):
+    base = tmp_path_factory.mktemp("service-bench")
+    spec = MappingSpec(kind="hatt")
+
+    # Pre-build every Hamiltonian (see methodology note above).
+    h_cold = load_case(COLD_CASE)
+    for case in SUITE_CASES:
+        load_case(case)
+
+    # -- cold vs warm -------------------------------------------------
+    cold_dir = _fresh_dir(base, "cold-warm")
+    svc = MappingService(cache_dir=cold_dir)
+    start = time.perf_counter()
+    cold_result = svc.get_or_compile(h_cold, spec)
+    cold_s = time.perf_counter() - start
+    assert cold_result.source == "compiled"
+
+    warm_disk_s = float("inf")
+    for _ in range(5):
+        fresh = MappingService(cache_dir=cold_dir)
+        start = time.perf_counter()
+        disk_result = fresh.get_or_compile(h_cold, spec)
+        warm_disk_s = min(warm_disk_s, time.perf_counter() - start)
+        assert disk_result.source == "disk"
+        assert disk_result.mapping.strings == cold_result.mapping.strings
+
+    warm_mem_s = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        mem_result = svc.get_or_compile(h_cold, spec)
+        warm_mem_s = min(warm_mem_s, time.perf_counter() - start)
+        assert mem_result.source == "memory"
+
+    # -- suite fan-out ------------------------------------------------
+    suite = {}
+    for jobs in (1, PARALLEL_JOBS):
+        cache_dir = _fresh_dir(base, f"suite-{jobs}")
+        start = time.perf_counter()
+        report = compile_suite(
+            SUITE_CASES, ["hatt"], jobs=jobs, cache_dir=cache_dir,
+            evaluate=False,
+        )
+        wall = time.perf_counter() - start
+        assert report.n_errors == 0, report.to_dict()
+        assert report.n_cache_hits == 0
+        suite[jobs] = {"wall_s": wall, "report": report, "cache_dir": cache_dir}
+
+    # Warm pass over the parallel run's store: must be pure cache reads.
+    start = time.perf_counter()
+    warm_report = compile_suite(
+        SUITE_CASES, ["hatt"], jobs=1,
+        cache_dir=suite[PARALLEL_JOBS]["cache_dir"], evaluate=False,
+    )
+    warm_suite_s = time.perf_counter() - start
+
+    speedups = {
+        "warm_disk": cold_s / warm_disk_s,
+        "warm_memory": cold_s / warm_mem_s,
+        "parallel": suite[1]["wall_s"] / suite[PARALLEL_JOBS]["wall_s"],
+        "warm_suite": suite[1]["wall_s"] / warm_suite_s,
+    }
+    rows = [
+        [f"cold compile ({COLD_CASE})", f"{cold_s:.4f}", "-"],
+        ["warm hit (disk, fresh service)", f"{warm_disk_s:.4f}",
+         f"{speedups['warm_disk']:.1f}x"],
+        ["warm hit (memory LRU)", f"{warm_mem_s:.4f}",
+         f"{speedups['warm_memory']:.1f}x"],
+        [f"suite x{len(SUITE_CASES)}, 1 worker", f"{suite[1]['wall_s']:.3f}", "-"],
+        [f"suite x{len(SUITE_CASES)}, {PARALLEL_JOBS} workers",
+         f"{suite[PARALLEL_JOBS]['wall_s']:.3f}", f"{speedups['parallel']:.2f}x"],
+        ["suite warm (all cache hits)", f"{warm_suite_s:.3f}",
+         f"{speedups['warm_suite']:.1f}x"],
+    ]
+    footer = (
+        f"floors: warm >= {WARM_FLOOR:.0f}x, parallel >= {PARALLEL_FLOOR:.0f}x "
+        f"(enforced with >= {PARALLEL_JOBS} CPUs; this host: {os.cpu_count()})"
+    )
+    content = format_table(
+        "compilation service throughput",
+        ["path", "seconds", "speedup"],
+        rows,
+    ) + "\n" + footer
+    write_result("service_throughput", content)
+    payload = {
+        "smoke": SMOKE,
+        "full": full_run(),
+        "cpu_count": os.cpu_count(),
+        "cold_case": COLD_CASE,
+        "suite_cases": SUITE_CASES,
+        "parallel_jobs": PARALLEL_JOBS,
+        "timings_s": {
+            "cold": round(cold_s, 6),
+            "warm_disk": round(warm_disk_s, 6),
+            "warm_memory": round(warm_mem_s, 6),
+            "suite_1_worker": round(suite[1]["wall_s"], 6),
+            f"suite_{PARALLEL_JOBS}_workers":
+                round(suite[PARALLEL_JOBS]["wall_s"], 6),
+            "suite_warm": round(warm_suite_s, 6),
+        },
+        "speedups": {k: round(v, 2) for k, v in speedups.items()},
+        "floors": {"warm": WARM_FLOOR, "parallel": PARALLEL_FLOOR},
+        "parallel_floor_enforced": (os.cpu_count() or 1) >= PARALLEL_JOBS,
+    }
+    write_result_json("service_throughput", payload)
+    if not SMOKE:
+        # Canonical runs refresh the committed repo-root artifact; smoke runs
+        # keep only the results_dir copy.
+        write_result_json("service_throughput", payload, path=JSON_PATH)
+    return speedups, warm_report, suite
+
+
+def test_warm_hit_speedup_floor(service_bench):
+    """Acceptance: warm cache hits beat the cold compile by >= 20x."""
+    speedups, _, _ = service_bench
+    assert speedups["warm_disk"] >= WARM_FLOOR, speedups
+    assert speedups["warm_memory"] >= WARM_FLOOR, speedups
+
+
+def test_parallel_suite_speedup_floor(service_bench):
+    """Acceptance: 4 workers >= 2x over 1 worker on the suite (needs cores)."""
+    speedups, _, _ = service_bench
+    if (os.cpu_count() or 1) < PARALLEL_JOBS:
+        pytest.skip(
+            f"parallel floor needs >= {PARALLEL_JOBS} CPUs "
+            f"(host has {os.cpu_count()}); measured {speedups['parallel']:.2f}x"
+        )
+    assert speedups["parallel"] >= PARALLEL_FLOOR, speedups
+
+
+def test_warm_suite_is_all_cache_hits(service_bench):
+    """Second pass over a compiled suite is served entirely from the store."""
+    _, warm_report, _ = service_bench
+    assert warm_report.n_tasks == len(SUITE_CASES)
+    assert all(t.cache_hit for t in warm_report.tasks), warm_report.to_dict()
+
+
+def test_parallel_and_serial_fingerprints_agree(service_bench):
+    _, _, suite = service_bench
+    key = lambda r: sorted(  # noqa: E731
+        (t.case, t.fingerprint) for t in r["report"].tasks
+    )
+    assert key(suite[1]) == key(suite[PARALLEL_JOBS])
+
+
+def test_json_written(service_bench):
+    if not SMOKE:
+        assert JSON_PATH.exists()

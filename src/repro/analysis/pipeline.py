@@ -27,6 +27,7 @@ __all__ = [
     "standard_mappings",
     "compare_mappings",
     "BASELINE_NAMES",
+    "COMPARE_KINDS",
 ]
 
 BASELINE_NAMES = ("JW", "BK", "BTT")
@@ -53,6 +54,20 @@ class MappingReport:
             self.cx_count if self.cx_count is not None else "-",
             self.depth if self.depth is not None else "-",
         ]
+
+    def to_dict(self) -> dict:
+        """JSON-shaped form (CLI ``--json`` output, cached evaluation reports)."""
+        return {
+            "mapping": self.mapping,
+            "n_modes": self.n_modes,
+            "pauli_weight": self.pauli_weight,
+            "n_terms": self.n_terms,
+            "max_weight": self.max_weight,
+            "mean_weight": self.mean_weight,
+            "cx_count": self.cx_count,
+            "u3_count": self.u3_count,
+            "depth": self.depth,
+        }
 
 
 def evaluate_mapping(
@@ -109,6 +124,12 @@ def standard_mappings(
     return out
 
 
+#: Display name → service mapping kind, in table row order.  The CLI's
+#: prewarm step reuses this so the pooled compiles always match the set the
+#: comparison evaluates.
+COMPARE_KINDS = {"JW": "jw", "BK": "bk", "BTT": "btt", "HATT": "hatt"}
+
+
 def compare_mappings(
     hamiltonian: FermionOperator | MajoranaOperator,
     n_modes: int,
@@ -116,20 +137,41 @@ def compare_mappings(
     synthesis: str = "naive",
     include_unopt: bool = False,
     hatt_backend: str = "vector",
+    service: "object | None" = None,
 ) -> dict[str, MappingReport]:
     """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian.
 
     ``hatt_backend`` selects the HATT construction engine (``"vector"`` /
     ``"scalar"``); both produce identical mappings, only compile time differs.
+
+    ``service`` (a :class:`repro.service.MappingService`) routes every
+    compile through the compilation cache: warm fingerprints load stored
+    artifacts instead of recompiling, and fresh compiles are persisted for
+    the next caller.  Reports are identical either way (cached mappings are
+    bit-identical to fresh compiles).
     """
-    mappings = standard_mappings(n_modes)
-    mappings["HATT"] = hatt_mapping(
-        hamiltonian, n_modes=n_modes, backend=hatt_backend
-    )
-    if include_unopt:
-        mappings["HATT-unopt"] = hatt_mapping(
-            hamiltonian, n_modes=n_modes, vacuum=False, backend=hatt_backend
+    if service is not None:
+        from ..service.fingerprint import MappingSpec
+
+        names = dict(COMPARE_KINDS)
+        if include_unopt:
+            names["HATT-unopt"] = "hatt-unopt"
+        mappings = {
+            name: service.get_or_compile(
+                hamiltonian,
+                MappingSpec(kind=kind, n_modes=n_modes, hatt_backend=hatt_backend),
+            ).mapping
+            for name, kind in names.items()
+        }
+    else:
+        mappings = standard_mappings(n_modes)
+        mappings["HATT"] = hatt_mapping(
+            hamiltonian, n_modes=n_modes, backend=hatt_backend
         )
+        if include_unopt:
+            mappings["HATT-unopt"] = hatt_mapping(
+                hamiltonian, n_modes=n_modes, vacuum=False, backend=hatt_backend
+            )
     return {
         name: evaluate_mapping(
             hamiltonian, m, compile_circuit=compile_circuit, synthesis=synthesis

@@ -3,69 +3,120 @@
 Commands
 --------
 ``compare``  Evaluate JW/BK/BTT/HATT on a benchmark Hamiltonian and print a
-             Table-I-style row set.
+             Table-I-style row set (``--json`` for machine-readable output).
 ``map``      Compile one mapping and optionally save it to JSON.
+``batch``    Compile a suite of cases × mappings through the compilation
+             service (fingerprint dedup, process-pool fan-out, shared cache).
+``cache``    Inspect or clear the content-addressed mapping cache.
 ``cases``    List the built-in benchmark Hamiltonians.
+
+Caching
+-------
+``map``/``compare`` use the compilation cache when ``--cache-dir`` is given
+or ``$REPRO_CACHE_DIR`` is set (opt-in, so ad-hoc runs leave no state
+behind); ``batch`` and ``cache`` default to the standard cache directory
+(``~/.cache/repro-hatt``).  ``--no-cache`` always wins.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .analysis import compare_mappings, format_table
-from .fermion import FermionOperator
-from .hatt import hatt_mapping
 from .hatt.construction import BACKENDS as HATT_BACKENDS
-from .mappings import (
-    balanced_ternary_tree,
-    bravyi_kitaev,
-    jordan_wigner,
-    parity_mapping,
-)
 from .mappings.io import save_mapping
+from .models import load_case
+from .service import (
+    MAPPING_KINDS,
+    ArtifactStore,
+    MappingService,
+    MappingSpec,
+    compile_suite,
+    default_cache_dir,
+)
 
 __all__ = ["main"]
 
 
-def _load_case(spec: str) -> FermionOperator:
-    """Resolve a case spec: ``hubbard:2x3``, ``neutrino:3x2F``, or an
-    electronic case name such as ``H2_sto3g``."""
-    if spec.startswith("hubbard:"):
-        from .models import hubbard_case
-
-        return hubbard_case(spec.split(":", 1)[1])
-    if spec.startswith("neutrino:"):
-        from .models import neutrino_case
-
-        return neutrino_case(spec.split(":", 1)[1])
-    from .models.electronic import electronic_case
-
-    return electronic_case(spec).hamiltonian
+def _load_case(spec: str):
+    """Resolve a case spec (kept for backward import compatibility)."""
+    return load_case(spec)
 
 
-_MAPPING_FACTORIES = {
-    "jw": lambda h, n, backend: jordan_wigner(n),
-    "bk": lambda h, n, backend: bravyi_kitaev(n),
-    "btt": lambda h, n, backend: balanced_ternary_tree(n),
-    "parity": lambda h, n, backend: parity_mapping(n),
-    "hatt": lambda h, n, backend: hatt_mapping(h, n_modes=n, backend=backend),
-    "hatt-unopt": lambda h, n, backend: hatt_mapping(
-        h, n_modes=n, vacuum=False, backend=backend
-    ),
-}
+# ----------------------------------------------------------------------
+# Cache plumbing shared by map/compare/batch/cache
+# ----------------------------------------------------------------------
+def _add_cache_args(parser: argparse.ArgumentParser, opt_in: bool) -> None:
+    default_hint = (
+        "default: no cache unless $REPRO_CACHE_DIR is set"
+        if opt_in
+        else f"default: {default_cache_dir()}"
+    )
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help=f"compilation-cache directory ({default_hint})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the compilation cache entirely")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="compile with N worker processes (cache-backed; "
+                             "ignored without an enabled cache)")
 
 
+def _resolve_cache_dir(args: argparse.Namespace, opt_in: bool) -> str | None:
+    """The cache root for this invocation, or ``None`` when caching is off."""
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return args.cache_dir
+    if os.environ.get("REPRO_CACHE_DIR"):
+        return os.environ["REPRO_CACHE_DIR"]
+    return None if opt_in else str(default_cache_dir())
+
+
+def _make_service(cache_dir: str | None) -> MappingService | None:
+    return MappingService(cache_dir=cache_dir) if cache_dir is not None else None
+
+
+def _prewarm(args: argparse.Namespace, cache_dir: str | None,
+             cases: list[str], kinds: list[str]) -> None:
+    """Fan the compiles of an impending serial step across worker processes."""
+    if args.jobs > 1 and cache_dir is not None:
+        compile_suite(cases, kinds, jobs=args.jobs, cache_dir=cache_dir,
+                      hatt_backend=args.hatt_backend, evaluate=False)
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
 def _cmd_compare(args: argparse.Namespace) -> int:
-    h = _load_case(args.case)
+    from .analysis.pipeline import COMPARE_KINDS
+
+    h = load_case(args.case)
     n = h.n_modes
+    cache_dir = _resolve_cache_dir(args, opt_in=True)
+    kinds = list(COMPARE_KINDS.values()) + (["hatt-unopt"] if args.unopt else [])
+    _prewarm(args, cache_dir, [args.case], kinds)
+    service = _make_service(cache_dir)
     reports = compare_mappings(
         h,
         n,
         compile_circuit=not args.no_circuit,
         include_unopt=args.unopt,
         hatt_backend=args.hatt_backend,
+        service=service,
     )
+    if args.json:
+        payload = {
+            "case": args.case,
+            "n_modes": n,
+            "reports": {name: r.to_dict() for name, r in reports.items()},
+        }
+        if service is not None:
+            payload["cache"] = service.stats()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = [r.row() for r in reports.values()]
     print(format_table(
         f"{args.case} ({n} modes)",
@@ -75,15 +126,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# map
+# ----------------------------------------------------------------------
 def _cmd_map(args: argparse.Namespace) -> int:
-    h = _load_case(args.case)
+    h = load_case(args.case)
     n = h.n_modes
-    factory = _MAPPING_FACTORIES[args.mapping]
-    mapping = factory(h, n, args.hatt_backend)
+    spec = MappingSpec(kind=args.mapping, n_modes=n, hatt_backend=args.hatt_backend)
+    cache_dir = _resolve_cache_dir(args, opt_in=True)
+    # One task, so --jobs adds no parallelism here, but routing it through
+    # the orchestrator keeps the flag honest (and warms the shared cache).
+    _prewarm(args, cache_dir, [args.case], [args.mapping])
+    service = _make_service(cache_dir)
+    if service is not None:
+        result = service.get_or_compile(h, spec)
+        mapping = result.mapping
+        cache_note = f" [{result.source}, key {result.fingerprint[:12]}]"
+    else:
+        from .service import compile_mapping
+
+        mapping = compile_mapping(h, spec)
+        cache_note = ""
     weight = mapping.map(h).pauli_weight()
     print(f"{mapping.name} mapping for {args.case}: {n} modes, "
           f"Pauli weight {weight}, vacuum preserved: "
-          f"{mapping.preserves_vacuum()}")
+          f"{mapping.preserves_vacuum()}{cache_note}")
     if args.output:
         save_mapping(mapping, args.output)
         print(f"saved to {args.output}")
@@ -93,9 +160,110 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# batch
+# ----------------------------------------------------------------------
+def _cmd_batch(args: argparse.Namespace) -> int:
+    kinds = [k.strip() for k in args.mappings.split(",") if k.strip()]
+    bad = [k for k in kinds if k not in MAPPING_KINDS]
+    if bad or not kinds:
+        print(
+            f"repro batch: error: invalid --mappings {args.mappings!r} "
+            f"(choose from {','.join(MAPPING_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = _resolve_cache_dir(args, opt_in=False)
+    progress = None
+    if not args.json:
+        def progress(t):  # noqa: E306
+            status = t.source if t.ok else f"error: {t.error}"
+            print(f"  {t.case} × {t.kind}: {status}", file=sys.stderr)
+
+    report = compile_suite(
+        args.cases,
+        kinds,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+        hatt_backend=args.hatt_backend,
+        evaluate=not args.no_eval,
+        progress=progress,
+    )
+    content = (
+        json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json
+        else report.table()
+    )
+    print(content)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(content + "\n")
+    return 1 if report.n_errors else 0
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args, opt_in=False)
+    if cache_dir is None:
+        print("cache disabled (--no-cache)", file=sys.stderr)
+        return 2
+    store = ArtifactStore(cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache root:  {stats['root']}")
+            print(f"mappings:    {stats['n_mappings']}")
+            print(f"total bytes: {stats['total_bytes']}")
+        return 0
+    if args.cache_command == "list":
+        entries = []
+        for fp in store.fingerprints():
+            prov = store.provenance(fp) or {}
+            entries.append({
+                "fingerprint": fp,
+                "kind": prov.get("kind", "?"),
+                "n_modes": prov.get("n_modes", "?"),
+                "compile_seconds": prov.get("compile_seconds", "?"),
+                "created_at": prov.get("created_at", "?"),
+            })
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+        else:
+            rows = [[e["fingerprint"][:16], e["kind"], e["n_modes"],
+                     e["compile_seconds"], e["created_at"]] for e in entries]
+            print(format_table(
+                f"{store.root} ({len(entries)} mappings)",
+                ["fingerprint", "kind", "modes", "compile s", "created"],
+                rows,
+            ))
+        return 0
+    # clear
+    n = store.clear()
+    print(f"removed {n} cached mappings from {store.root}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# cases
+# ----------------------------------------------------------------------
 def _cmd_cases(args: argparse.Namespace) -> int:
     from .models.electronic import electronic_case_names
 
+    if args.json:
+        print(json.dumps({
+            "electronic": electronic_case_names(),
+            "hubbard": {"pattern": "hubbard:<AxB>",
+                        "examples": ["hubbard:2x2", "hubbard:2x3", "hubbard:3x3"]},
+            "neutrino": {"pattern": "neutrino:<NxFF>",
+                         "examples": ["neutrino:2x2F", "neutrino:3x2F"]},
+            "mappings": list(MAPPING_KINDS),
+        }, indent=2, sort_keys=True))
+        return 0
     print("electronic:", ", ".join(electronic_case_names()))
     print("hubbard:    hubbard:<AxB>   (paper Table II geometries, e.g. hubbard:2x3)")
     print("neutrino:   neutrino:<NxFF> (paper Table III cases, e.g. neutrino:3x2F)")
@@ -119,11 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
                            default="vector",
                            help="HATT construction engine (identical output; "
                                 "'vector' is the fast packed-bitmask kernel)")
+    p_compare.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of a table")
+    _add_cache_args(p_compare, opt_in=True)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_map = sub.add_parser("map", help="compile one mapping")
     p_map.add_argument("case")
-    p_map.add_argument("--mapping", choices=sorted(_MAPPING_FACTORIES),
+    p_map.add_argument("--mapping", choices=sorted(MAPPING_KINDS),
                        default="hatt")
     p_map.add_argument("--hatt-backend", choices=HATT_BACKENDS,
                        default="vector",
@@ -131,9 +302,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "mappings)")
     p_map.add_argument("--output", help="save mapping JSON here")
     p_map.add_argument("--show-strings", action="store_true")
+    _add_cache_args(p_map, opt_in=True)
     p_map.set_defaults(func=_cmd_map)
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="compile a suite of cases × mappings through the service",
+    )
+    p_batch.add_argument("cases", nargs="+",
+                         help="case specs (see `repro cases`)")
+    p_batch.add_argument("--mappings", default="hatt", metavar="K1,K2",
+                         help=f"comma-separated kinds from {','.join(MAPPING_KINDS)} "
+                              "(default: hatt)")
+    p_batch.add_argument("--hatt-backend", choices=HATT_BACKENDS, default="vector")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the suite report as JSON")
+    p_batch.add_argument("--no-eval", action="store_true",
+                         help="skip per-task Pauli-weight evaluation")
+    p_batch.add_argument("--output", metavar="FILE",
+                         help="also write the report here")
+    _add_cache_args(p_batch, opt_in=False)
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the mapping cache")
+    p_cache.add_argument("cache_command", choices=["stats", "list", "clear"])
+    p_cache.add_argument("--json", action="store_true")
+    p_cache.add_argument("--cache-dir", metavar="DIR",
+                         help=f"cache directory (default: {default_cache_dir()})")
+    p_cache.add_argument("--no-cache", action="store_true",
+                         help=argparse.SUPPRESS)
+    p_cache.set_defaults(func=_cmd_cache)
+
     p_cases = sub.add_parser("cases", help="list built-in benchmark cases")
+    p_cases.add_argument("--json", action="store_true",
+                         help="emit the case registry as JSON")
     p_cases.set_defaults(func=_cmd_cases)
     return parser
 

@@ -70,13 +70,16 @@ def normal_order_majorana_product(
 class MajoranaOperator:
     """Weighted sum of canonical Majorana monomials."""
 
-    __slots__ = ("_terms", "_packed")
+    __slots__ = ("_terms", "_packed", "_fingerprint_cache")
 
     def __init__(self, terms: dict[tuple[int, ...], complex] | None = None):
         self._terms: dict[tuple[int, ...], complex] = dict(terms) if terms else {}
         #: Cached bulk-mapping plan (padded index matrix + coefficient vector);
         #: rebuilt lazily by :meth:`packed_terms`, cleared on mutation.
         self._packed = None
+        #: Service-layer memo for the canonical fingerprint form — owned by
+        #: repro.service.fingerprint, cleared on mutation like _packed.
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -183,6 +186,7 @@ class MajoranaOperator:
     # ------------------------------------------------------------------
     def add_term(self, indices: tuple[int, ...], coeff: complex) -> None:
         self._packed = None
+        self._fingerprint_cache = None
         new = self._terms.get(indices, 0.0) + coeff
         if new == 0:
             self._terms.pop(indices, None)
@@ -191,6 +195,7 @@ class MajoranaOperator:
 
     def simplify(self, tol: float = _COEFF_TOLERANCE) -> "MajoranaOperator":
         self._packed = None
+        self._fingerprint_cache = None
         self._terms = {t: c for t, c in self._terms.items() if abs(c) > tol}
         return self
 

@@ -27,10 +27,14 @@ _COEFF_TOLERANCE = 1e-12
 class FermionOperator:
     """Weighted sum of products of fermionic creation/annihilation operators."""
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "_fingerprint_cache")
 
     def __init__(self, terms: dict[tuple[Action, ...], complex] | None = None):
         self._terms: dict[tuple[Action, ...], complex] = dict(terms) if terms else {}
+        #: Service-layer memo for the canonical (normal-ordered, quantized)
+        #: fingerprint form — owned by repro.service.fingerprint, cleared on
+        #: mutation (the same contract as MajoranaOperator._packed).
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -96,6 +100,7 @@ class FermionOperator:
     # Building / arithmetic
     # ------------------------------------------------------------------
     def add_term(self, actions: tuple[Action, ...], coeff: complex) -> None:
+        self._fingerprint_cache = None
         new = self._terms.get(actions, 0.0) + coeff
         if abs(new) <= _COEFF_TOLERANCE:
             self._terms.pop(actions, None)
@@ -158,6 +163,15 @@ class FermionOperator:
         """
         out = FermionOperator()
         for term, coeff in self._terms.items():
+            fast = _normal_order_fast(term)
+            if fast is not None:
+                # Creations-before-annihilations monomials with distinct
+                # modes per block (every integral-built molecular term)
+                # normal-order by pure anticommutation — a sign, no
+                # contractions — so they skip the CAR rewrite machinery.
+                ordered, sign = fast
+                out.add_term(ordered, sign * coeff)
+                continue
             for ordered, sign_coeff in _normal_order_term(term, coeff):
                 out.add_term(ordered, sign_coeff)
         return out
@@ -179,6 +193,57 @@ class FermionOperator:
         parts = [f"({c:.4g})·{fmt(t)}" for t, c in list(self._terms.items())[:6]]
         more = f" … ({len(self)} terms)" if len(self) > 6 else ""
         return f"FermionOperator({' + '.join(parts) or '0'}{more})"
+
+
+def _sort_block(arr: list[int], descending: bool) -> int | None:
+    """Insertion-sort a block of modes in place, counting adjacent swaps.
+
+    Returns the swap count, or ``None`` on a repeated mode (the caller must
+    fall back to the generic rewrite, where the monomial vanishes by Pauli
+    exclusion).
+    """
+    swaps = 0
+    for i in range(1, len(arr)):
+        j = i
+        while j > 0 and (arr[j - 1] < arr[j] if descending else arr[j - 1] > arr[j]):
+            arr[j - 1], arr[j] = arr[j], arr[j - 1]
+            swaps += 1
+            j -= 1
+        if j > 0 and arr[j - 1] == arr[j]:
+            return None
+    return swaps
+
+
+def _normal_order_fast(
+    term: tuple[Action, ...],
+) -> tuple[tuple[Action, ...], int] | None:
+    """Normal-order a contraction-free monomial by anticommutation alone.
+
+    Applicable when every creation precedes every annihilation and modes are
+    distinct within each block: swapping two such operators never produces a
+    ``δ_ij`` contraction, so the normal form is the per-block sort with sign
+    ``(-1)^swaps``.  Returns ``(ordered_term, sign)`` or ``None`` when the
+    monomial needs the full CAR rewrite.
+    """
+    created: list[int] = []
+    annihilated: list[int] = []
+    for mode, dagger in term:
+        if dagger:
+            if annihilated:
+                return None  # annihilation before a creation: contraction
+            created.append(mode)
+        else:
+            annihilated.append(mode)
+    swaps_c = _sort_block(created, descending=True)
+    if swaps_c is None:
+        return None
+    swaps_a = _sort_block(annihilated, descending=False)
+    if swaps_a is None:
+        return None
+    ordered = tuple(
+        [(m, True) for m in created] + [(m, False) for m in annihilated]
+    )
+    return ordered, (-1 if (swaps_c + swaps_a) & 1 else 1)
 
 
 def _normal_order_term(

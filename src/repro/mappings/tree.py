@@ -16,6 +16,7 @@ __all__ = [
     "TreeNode",
     "TernaryTree",
     "tree_from_uid_arrays",
+    "children_uid_triples",
     "balanced_tree",
     "jw_tree",
     "parity_tree",
@@ -196,6 +197,30 @@ def tree_from_uid_arrays(
     if len(roots) != 1:
         raise ValueError(f"expected exactly one root, found {len(roots)}")
     return TernaryTree(roots[0], n_modes)
+
+
+def children_uid_triples(tree: TernaryTree) -> list[tuple[int, int, int]]:
+    """Inverse of :func:`tree_from_uid_arrays`: per-qubit (X, Y, Z) child uids.
+
+    Works for any complete ternary tree whose internal qubit labels are
+    ``0..N-1``: a leaf's uid is its ``leaf_index`` and internal node ``q``'s
+    uid is ``2N + 1 + q``, so
+    ``tree_from_uid_arrays(children_uid_triples(t), t.n_internal)``
+    reconstructs a tree with identical topology and Pauli strings.  This is
+    the compact topology form embedded in schema-v2 mapping artifacts.
+    """
+    n_leaves = 2 * tree.n_internal + 1
+
+    def uid(node: TreeNode) -> int:
+        return node.leaf_index if node.is_leaf else n_leaves + node.qubit
+
+    triples: dict[int, tuple[int, int, int]] = {}
+    for node in tree.iter_nodes():
+        if not node.is_leaf:
+            triples[node.qubit] = tuple(uid(node.children[b]) for b in BRANCHES)
+    if sorted(triples) != list(range(tree.n_internal)):
+        raise ValueError("internal-node qubit labels are not 0..N-1")
+    return [triples[q] for q in range(tree.n_internal)]
 
 
 # ----------------------------------------------------------------------

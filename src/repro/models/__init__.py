@@ -9,4 +9,25 @@ __all__ = [
     "lattice_edges",
     "collective_neutrino",
     "neutrino_case",
+    "load_case",
 ]
+
+
+def load_case(spec: str):
+    """Resolve a case spec string to a :class:`~repro.fermion.FermionOperator`.
+
+    Specs: ``hubbard:<AxB>`` (e.g. ``hubbard:2x3``), ``neutrino:<NxFF>``
+    (e.g. ``neutrino:3x2F``), or an electronic case name such as
+    ``H2_sto3g`` (see :func:`repro.models.electronic.electronic_case_names`).
+
+    This is the single spec grammar shared by the CLI, the batch
+    orchestrator's worker processes, and the benchmarks, so a spec that
+    names a task in one place names the same Hamiltonian everywhere.
+    """
+    if spec.startswith("hubbard:"):
+        return hubbard_case(spec.split(":", 1)[1])
+    if spec.startswith("neutrino:"):
+        return neutrino_case(spec.split(":", 1)[1])
+    from .electronic import electronic_case
+
+    return electronic_case(spec).hamiltonian

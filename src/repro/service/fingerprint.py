@@ -1,0 +1,211 @@
+"""Canonical Hamiltonian/mapping fingerprints (compilation-service cache keys).
+
+A HATT compile is a pure function of the *physics* — the Hamiltonian's
+normal-ordered term content — and of the mapping configuration (mapping kind,
+vacuum pairing, mode count).  Everything else (term insertion order, floating
+point dust below tolerance, which construction backend evaluates the
+candidate kernels) must NOT change the result, so it must not change the
+cache key either.  This module produces a hex SHA-256 digest with exactly
+those invariances:
+
+* **order-invariant** — terms are canonically sorted before hashing, so two
+  operators built by adding the same terms in different orders collide;
+* **coefficient-tolerant** — coefficients are snapped to an integer grid of
+  ``tol`` (default ``1e-12``, the algebra's own coefficient tolerance) and
+  terms whose real and imaginary parts both snap to zero are dropped, so
+  accumulation dust cannot fork the key;
+* **backend-independent** — the HATT ``backend``/``cached`` engine switches
+  are excluded from the config payload (both engines produce bit-identical
+  trees; the property suite enforces this);
+* **process-stable** — the digest is SHA-256 over a canonical JSON document,
+  never Python's salted ``hash()``, so keys agree across interpreter runs
+  and machines.
+
+Static (Hamiltonian-independent) mappings — JW/BK/BTT/parity — are keyed on
+``(kind, n_modes)`` alone: the same JW table serves every 8-mode problem, so
+every 8-mode problem should hit the same artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from ..fermion import FermionOperator, MajoranaOperator
+
+__all__ = [
+    "MappingSpec",
+    "MAPPING_KINDS",
+    "STATIC_KINDS",
+    "ADAPTIVE_KINDS",
+    "DEFAULT_TOLERANCE",
+    "FINGERPRINT_SCHEMA",
+    "canonical_terms",
+    "fingerprint_operator",
+    "fingerprint_request",
+]
+
+#: Bump when the canonical payload layout changes (old cache entries become
+#: unreachable rather than silently wrong).
+FINGERPRINT_SCHEMA = 1
+
+#: Coefficient quantization grid; matches the operator algebra's own
+#: ``_COEFF_TOLERANCE`` so "physically identical" and "hash-identical" agree.
+DEFAULT_TOLERANCE = 1e-12
+
+#: Mapping kinds whose output depends only on the mode count.
+STATIC_KINDS = frozenset({"jw", "bk", "btt", "parity"})
+
+#: Mapping kinds whose output depends on the Hamiltonian's term content.
+ADAPTIVE_KINDS = frozenset({"hatt", "hatt-unopt"})
+
+#: All compile-able mapping kinds, in CLI display order.
+MAPPING_KINDS = ("jw", "bk", "btt", "parity", "hatt", "hatt-unopt")
+
+
+@dataclass(frozen=True)
+class MappingSpec:
+    """A compile request's configuration half (the Hamiltonian is the other).
+
+    ``kind``/``n_modes`` are cache-key material; ``hatt_backend`` and
+    ``cached`` select equivalent construction engines and are deliberately
+    *not* (see module docstring).  ``n_modes=None`` means "infer from the
+    Hamiltonian" — call :meth:`resolve` before fingerprinting or compiling.
+    """
+
+    kind: str
+    n_modes: int | None = None
+    hatt_backend: str = "vector"
+    cached: bool = True
+
+    def __post_init__(self):
+        if self.kind not in MAPPING_KINDS:
+            raise ValueError(
+                f"unknown mapping kind {self.kind!r}; expected one of {MAPPING_KINDS}"
+            )
+
+    @property
+    def vacuum(self) -> bool:
+        return self.kind != "hatt-unopt"
+
+    @property
+    def hamiltonian_dependent(self) -> bool:
+        return self.kind in ADAPTIVE_KINDS
+
+    def resolve(self, hamiltonian: FermionOperator | MajoranaOperator) -> "MappingSpec":
+        """Pin ``n_modes`` against a concrete Hamiltonian."""
+        if self.n_modes is not None:
+            return self
+        return replace(self, n_modes=hamiltonian.n_modes)
+
+
+def _quantize(value: float, tol: float) -> int:
+    """Snap one float to the integer grid ``value / tol``.
+
+    Integer grid coordinates serialize exactly (no float repr ambiguity) and
+    ``round`` half-to-even is deterministic across processes.  ``-0.0``
+    rounds to the integer ``0``, collapsing the two float zeros.
+    """
+    return round(value / tol)
+
+
+def canonical_terms(
+    op: FermionOperator | MajoranaOperator, tol: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Order-canonical, tolerance-quantized term lines for hashing.
+
+    ``FermionOperator`` input is normal-ordered first (exact CAR algebra), so
+    any two representations of the same physical operator reach the same
+    monomial basis; ``MajoranaOperator`` monomials are already canonical by
+    construction.  Terms are sorted by monomial key and coefficients are
+    grid-quantized; terms quantizing to exactly zero are dropped.
+
+    Each entry is one compact line, ``"<key>:<re_grid>:<im_grid>"`` with key
+    ``"3^ 0_"`` (``^`` creation, ``_`` annihilation) for ladder monomials or
+    ``"0 3 5"`` for Majorana index sets — a flat string form, because this
+    sits on the warm-cache hot path where nested-JSON encoding cost is
+    measurable.
+
+    The result is memoized on the operator (``_fingerprint_cache``, cleared
+    by every mutation path, same contract as ``MajoranaOperator._packed``),
+    so a service holding a Hamiltonian pays canonicalization once however
+    many get-or-compile calls it routes.
+    """
+    cached = op._fingerprint_cache
+    if cached is not None and cached[0] == tol:
+        return cached[1]
+    if isinstance(op, FermionOperator):
+        lines = [
+            line
+            for term, coeff in sorted(op.normal_order().terms())
+            if (line := _term_line(
+                " ".join(f"{m}{'^' if d else '_'}" for m, d in term), coeff, tol
+            )) is not None
+        ]
+    elif isinstance(op, MajoranaOperator):
+        lines = [
+            line
+            for term, coeff in sorted((tuple(t), c) for t, c in op.terms())
+            if (line := _term_line(" ".join(map(str, term)), coeff, tol)) is not None
+        ]
+    else:
+        raise TypeError(f"cannot fingerprint object of type {type(op).__name__}")
+    op._fingerprint_cache = (tol, lines)
+    return lines
+
+
+def _term_line(key: str, coeff: complex, tol: float) -> str | None:
+    coeff = complex(coeff)
+    re, im = _quantize(coeff.real, tol), _quantize(coeff.imag, tol)
+    if re == 0 and im == 0:
+        return None
+    return f"{key}:{re}:{im}"
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fingerprint_operator(
+    op: FermionOperator | MajoranaOperator, tol: float = DEFAULT_TOLERANCE
+) -> str:
+    """Content hash of a Hamiltonian alone (no mapping config)."""
+    form = "fermion" if isinstance(op, FermionOperator) else "majorana"
+    return _digest(
+        {
+            "fp_schema": FINGERPRINT_SCHEMA,
+            "form": form,
+            "tol": repr(tol),
+            "terms": canonical_terms(op, tol),
+        }
+    )
+
+
+def fingerprint_request(
+    hamiltonian: FermionOperator | MajoranaOperator,
+    spec: MappingSpec,
+    tol: float = DEFAULT_TOLERANCE,
+) -> str:
+    """Cache key of one compile request: Hamiltonian content × mapping config.
+
+    Static kinds omit the term payload entirely (see module docstring), so
+    e.g. every 8-mode problem shares one ``jw`` artifact.
+    """
+    spec = spec.resolve(hamiltonian)
+    payload: dict = {
+        "fp_schema": FINGERPRINT_SCHEMA,
+        "config": {
+            "kind": spec.kind,
+            "n_modes": spec.n_modes,
+            "vacuum": spec.vacuum,
+        },
+    }
+    if spec.hamiltonian_dependent:
+        payload["form"] = (
+            "fermion" if isinstance(hamiltonian, FermionOperator) else "majorana"
+        )
+        payload["tol"] = repr(tol)
+        payload["terms"] = canonical_terms(hamiltonian, tol)
+    return _digest(payload)

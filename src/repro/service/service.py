@@ -1,0 +1,257 @@
+"""Get-or-compile facade over the fingerprint keyspace and artifact store.
+
+``MappingService`` is the single entry point the pipeline, CLI, and batch
+orchestrator share.  A request is ``(hamiltonian, MappingSpec)``; the service
+
+1. fingerprints the request (:mod:`.fingerprint`),
+2. consults an in-memory LRU (hot mappings stay parsed),
+3. falls back to the disk :class:`~repro.service.store.ArtifactStore`,
+4. compiles on a full miss, storing the artifact with provenance.
+
+Concurrent requests for one fingerprint are **single-flighted**: the first
+thread compiles while the rest block on a per-fingerprint lock and then read
+the freshly cached result, so a thundering herd of identical requests costs
+one compile.  (Cross-*process* dedup is the batch orchestrator's job — it
+dedups by fingerprint before dispatch; racing writers are still safe because
+store writes are atomic and content-addressed.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .. import __version__
+from ..fermion import FermionOperator, MajoranaOperator
+from ..hatt import hatt_mapping
+from ..mappings import (
+    FermionQubitMapping,
+    balanced_ternary_tree,
+    bravyi_kitaev,
+    jordan_wigner,
+    parity_mapping,
+)
+from .fingerprint import MappingSpec, fingerprint_request
+from .store import ArtifactStore
+
+__all__ = ["MappingService", "CompileResult", "compile_mapping"]
+
+#: In-memory LRU capacity (mappings are small; disk remains the backstop).
+_DEFAULT_MEMORY_CAPACITY = 128
+
+
+def compile_mapping(
+    hamiltonian: FermionOperator | MajoranaOperator, spec: MappingSpec
+) -> FermionQubitMapping:
+    """Compile one mapping from a resolved spec (the cache-free primitive)."""
+    spec = spec.resolve(hamiltonian)
+    n = spec.n_modes
+    if spec.kind == "jw":
+        return jordan_wigner(n)
+    if spec.kind == "bk":
+        return bravyi_kitaev(n)
+    if spec.kind == "btt":
+        return balanced_ternary_tree(n)
+    if spec.kind == "parity":
+        return parity_mapping(n)
+    # hatt / hatt-unopt
+    return hatt_mapping(
+        hamiltonian,
+        n_modes=n,
+        vacuum=spec.vacuum,
+        cached=spec.cached,
+        backend=spec.hatt_backend,
+    )
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one get-or-compile: the mapping plus cache bookkeeping."""
+
+    mapping: FermionQubitMapping
+    fingerprint: str
+    #: ``"memory"`` | ``"disk"`` | ``"compiled"``
+    source: str
+    #: Compile wall time when ``source == "compiled"``, else 0.
+    compile_seconds: float = 0.0
+    provenance: dict | None = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source != "compiled"
+
+
+@dataclass
+class _Stats:
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    compiles: int = 0
+    compile_seconds: float = 0.0
+    single_flight_waits: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "hits_memory": self.hits_memory,
+                "hits_disk": self.hits_disk,
+                "misses": self.misses,
+                "compiles": self.compiles,
+                "compile_seconds": self.compile_seconds,
+                "single_flight_waits": self.single_flight_waits,
+            }
+
+
+class MappingService:
+    """Two-tier (memory LRU → disk store) compilation cache with stats.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root for a default :class:`ArtifactStore`; ignored when ``store`` is
+        given.
+    store:
+        An explicit store instance to share between services.
+    use_disk:
+        ``False`` → memory-only service (no artifacts written), for callers
+        that want dedup within a run but no persistent state.
+    memory_capacity:
+        Max parsed mappings held in the LRU; 0 disables the memory tier.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        store: ArtifactStore | None = None,
+        use_disk: bool = True,
+        memory_capacity: int = _DEFAULT_MEMORY_CAPACITY,
+    ):
+        if store is not None:
+            self.store: ArtifactStore | None = store
+        elif use_disk:
+            self.store = ArtifactStore(cache_dir)
+        else:
+            self.store = None
+        self.memory_capacity = int(memory_capacity)
+        self._memory: OrderedDict[str, FermionQubitMapping] = OrderedDict()
+        self._memory_lock = threading.Lock()
+        self._flight_lock = threading.Lock()
+        self._in_flight: dict[str, threading.Lock] = {}
+        self._stats = _Stats()
+
+    # ------------------------------------------------------------------
+    # Memory tier
+    # ------------------------------------------------------------------
+    def _memory_get(self, fp: str) -> FermionQubitMapping | None:
+        with self._memory_lock:
+            mapping = self._memory.get(fp)
+            if mapping is not None:
+                self._memory.move_to_end(fp)
+            return mapping
+
+    def _memory_put(self, fp: str, mapping: FermionQubitMapping) -> None:
+        if self.memory_capacity <= 0:
+            return
+        with self._memory_lock:
+            self._memory[fp] = mapping
+            self._memory.move_to_end(fp)
+            while len(self._memory) > self.memory_capacity:
+                self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def fingerprint(
+        self, hamiltonian: FermionOperator | MajoranaOperator, spec: MappingSpec
+    ) -> str:
+        return fingerprint_request(hamiltonian, spec)
+
+    def get_or_compile(
+        self,
+        hamiltonian: FermionOperator | MajoranaOperator,
+        spec: MappingSpec,
+    ) -> CompileResult:
+        spec = spec.resolve(hamiltonian)
+        fp = fingerprint_request(hamiltonian, spec)
+
+        mapping = self._memory_get(fp)
+        if mapping is not None:
+            with self._stats.lock:
+                self._stats.hits_memory += 1
+            return CompileResult(mapping, fp, "memory",
+                                 provenance=getattr(mapping, "provenance", None))
+
+        with self._flight_lock:
+            flight = self._in_flight.get(fp)
+            if flight is None:
+                flight = self._in_flight[fp] = threading.Lock()
+        contended = not flight.acquire(blocking=False)
+        if contended:
+            with self._stats.lock:
+                self._stats.single_flight_waits += 1
+            flight.acquire()
+        try:
+            # A single-flight follower lands here after the leader populated
+            # the caches; re-check memory before touching disk.
+            mapping = self._memory_get(fp)
+            if mapping is not None:
+                with self._stats.lock:
+                    self._stats.hits_memory += 1
+                return CompileResult(mapping, fp, "memory",
+                                     provenance=getattr(mapping, "provenance", None))
+
+            if self.store is not None:
+                mapping = self.store.get_mapping(fp)
+                if mapping is not None:
+                    self._memory_put(fp, mapping)
+                    with self._stats.lock:
+                        self._stats.hits_disk += 1
+                    return CompileResult(mapping, fp, "disk",
+                                         provenance=getattr(mapping, "provenance", None))
+
+            start = time.perf_counter()
+            mapping = compile_mapping(hamiltonian, spec)
+            elapsed = time.perf_counter() - start
+            provenance = {
+                "fingerprint": fp,
+                "kind": spec.kind,
+                "n_modes": spec.n_modes,
+                "vacuum": spec.vacuum,
+                "compile_seconds": round(elapsed, 6),
+                "repro_version": __version__,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            }
+            mapping.provenance = provenance
+            if self.store is not None:
+                self.store.put_mapping(fp, mapping, provenance=provenance)
+            self._memory_put(fp, mapping)
+            with self._stats.lock:
+                self._stats.misses += 1
+                self._stats.compiles += 1
+                self._stats.compile_seconds += elapsed
+            return CompileResult(mapping, fp, "compiled",
+                                 compile_seconds=elapsed, provenance=provenance)
+        finally:
+            flight.release()
+            with self._flight_lock:
+                # Last one out drops the lock object so the dict stays bounded
+                # by the number of concurrently in-flight fingerprints.
+                if fp in self._in_flight and not self._in_flight[fp].locked():
+                    del self._in_flight[fp]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        out = self._stats.snapshot()
+        out["memory_entries"] = len(self._memory)
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+    def __repr__(self) -> str:
+        root = self.store.root if self.store is not None else None
+        return f"MappingService(store={str(root)!r}, lru={self.memory_capacity})"

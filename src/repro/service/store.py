@@ -1,0 +1,225 @@
+"""Content-addressed artifact store for compiled mappings.
+
+Layout (one directory per fingerprint, sharded by the first two hex chars so
+no single directory grows unbounded)::
+
+    <root>/mappings/v1/<fp[:2]>/<fp>/mapping.json  # schema-v2 mapping + provenance
+    <root>/mappings/v1/<fp[:2]>/<fp>/report.json   # optional evaluation report
+
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hatt``.  The
+``mappings/`` namespace keeps the store disjoint from the chemistry integral
+cache (``<root>/chem/``), which honors the same environment variable.
+
+Durability rules:
+
+* **atomic writes** — documents are written to a same-directory temp file
+  and ``os.replace``-d into place, so concurrent writers (batch worker
+  processes racing on one fingerprint) and crashes can never expose a
+  half-written artifact; last writer wins with identical content, because
+  the fingerprint pins the content.
+* **corruption-safe loads** — a torn, truncated, or hand-edited document
+  loads as a *miss*, never an exception: the store quarantines (unlinks) the
+  bad file and counts it in ``stats()["corrupt_dropped"]``, and the service
+  recompiles and repairs the entry on the next put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..mappings.base import FermionQubitMapping
+from ..mappings.io import mapping_from_dict, mapping_to_dict
+
+__all__ = ["ArtifactStore", "default_cache_dir"]
+
+#: On-disk layout version; bump on incompatible directory-structure changes.
+_LAYOUT = "v1"
+
+_MAPPING_DOC = "mapping.json"
+_REPORT_DOC = "report.json"
+
+#: Exceptions that mean "this document's *content* is unusable" — JSON syntax
+#: errors, missing/mistyped keys, inconsistent mapping content (io.py
+#: validation).  These quarantine the file.  I/O errors (permissions, EIO,
+#: stale NFS) are treated as transient misses instead: the artifact may be
+#: perfectly valid, so it must not be deleted.
+_CORRUPTION = (json.JSONDecodeError, KeyError, TypeError, ValueError)
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-hatt"
+
+
+class ArtifactStore:
+    """Disk half of the compilation cache; see module docstring for layout."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self._base = self.root / "mappings" / _LAYOUT
+        self._corrupt_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _entry_dir(self, fingerprint: str) -> Path:
+        if len(fingerprint) < 8 or not all(c in "0123456789abcdef" for c in fingerprint):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self._base / fingerprint[:2] / fingerprint
+
+    def mapping_path(self, fingerprint: str) -> Path:
+        return self._entry_dir(fingerprint) / _MAPPING_DOC
+
+    def report_path(self, fingerprint: str) -> Path:
+        return self._entry_dir(fingerprint) / _REPORT_DOC
+
+    # ------------------------------------------------------------------
+    # Raw document I/O
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _read_doc(self, path: Path) -> dict | None:
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):
+                raise ValueError("artifact document is not a JSON object")
+            return data
+        except FileNotFoundError:
+            return None
+        except _CORRUPTION:
+            self._quarantine(path)
+            return None
+        except OSError:
+            return None  # transient I/O: a miss, but keep the artifact
+
+    def _quarantine(self, path: Path) -> None:
+        self._corrupt_dropped += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Mappings
+    # ------------------------------------------------------------------
+    def put_mapping(
+        self,
+        fingerprint: str,
+        mapping: FermionQubitMapping,
+        provenance: dict | None = None,
+    ) -> Path:
+        path = self.mapping_path(fingerprint)
+        self._write_atomic(path, mapping_to_dict(mapping, provenance=provenance))
+        return path
+
+    def get_mapping(self, fingerprint: str) -> FermionQubitMapping | None:
+        """Load a stored mapping, or ``None`` on miss *or* corruption."""
+        path = self.mapping_path(fingerprint)
+        data = self._read_doc(path)
+        if data is None:
+            return None
+        try:
+            return mapping_from_dict(data)
+        except _CORRUPTION:
+            self._quarantine(path)
+            return None
+
+    # ------------------------------------------------------------------
+    # Evaluation reports
+    # ------------------------------------------------------------------
+    def put_report(self, fingerprint: str, report: dict) -> Path:
+        path = self.report_path(fingerprint)
+        self._write_atomic(path, report)
+        return path
+
+    def get_report(self, fingerprint: str) -> dict | None:
+        return self._read_doc(self.report_path(fingerprint))
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def contains(self, fingerprint: str) -> bool:
+        return self.mapping_path(fingerprint).exists()
+
+    def fingerprints(self) -> list[str]:
+        """All fingerprints with a mapping document, sorted."""
+        if not self._base.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for shard in self._base.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if (entry / _MAPPING_DOC).is_file()
+        )
+
+    def provenance(self, fingerprint: str) -> dict | None:
+        data = self._read_doc(self.mapping_path(fingerprint))
+        if data is None:
+            return None
+        prov = data.get("provenance")
+        return prov if isinstance(prov, dict) else None
+
+    def remove(self, fingerprint: str) -> bool:
+        """Drop one entry (mapping + report). Returns whether anything existed."""
+        entry = self._entry_dir(fingerprint)
+        existed = False
+        for doc in (_MAPPING_DOC, _REPORT_DOC):
+            try:
+                (entry / doc).unlink()
+                existed = True
+            except OSError:
+                pass
+        try:
+            entry.rmdir()
+        except OSError:
+            pass
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of mappings dropped."""
+        n = 0
+        for fp in self.fingerprints():
+            if self.remove(fp):
+                n += 1
+        return n
+
+    def stats(self) -> dict:
+        fps = self.fingerprints()
+        total = 0
+        for fp in fps:
+            entry = self._entry_dir(fp)
+            for doc in (_MAPPING_DOC, _REPORT_DOC):
+                try:
+                    total += (entry / doc).stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "n_mappings": len(fps),
+            "total_bytes": total,
+            "corrupt_dropped": self._corrupt_dropped,
+        }
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

@@ -1,0 +1,196 @@
+"""CLI coverage: happy paths, JSON output, and the cache/batch surface.
+
+Serialization-focused CLI tests predating this file live in
+``test_mapping_io.py``; this suite owns the command-line surface itself.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.mappings.io import load_mapping
+from repro.service import ArtifactStore
+
+
+def run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestCompare:
+    def test_happy_path(self, capsys):
+        assert main(["compare", "hubbard:2x2", "--no-circuit"]) == 0
+        out = capsys.readouterr().out
+        assert "HATT" in out and "JW" in out and "76" in out
+
+    def test_json_output(self, capsys):
+        data = run_json(
+            capsys, ["compare", "hubbard:2x2", "--no-circuit", "--json"]
+        )
+        assert data["n_modes"] == 8
+        assert data["reports"]["HATT"]["pauli_weight"] == 76
+        assert data["reports"]["JW"]["pauli_weight"] == 80
+        assert data["reports"]["HATT"]["cx_count"] is None  # --no-circuit
+
+    def test_json_includes_circuit_metrics(self, capsys):
+        data = run_json(capsys, ["compare", "hubbard:1x2", "--json"])
+        assert data["reports"]["HATT"]["cx_count"] > 0
+        assert data["reports"]["HATT"]["depth"] > 0
+
+    def test_cache_flags_warm_second_run(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["compare", "hubbard:2x2", "--no-circuit", "--json",
+                "--cache-dir", cache]
+        cold = run_json(capsys, argv)
+        assert cold["cache"]["compiles"] == 4
+        warm = run_json(capsys, argv)
+        assert warm["cache"]["compiles"] == 0
+        assert warm["cache"]["hits_disk"] == 4
+        assert warm["reports"] == cold["reports"]
+
+    def test_no_cache_overrides_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        data = run_json(capsys, ["compare", "hubbard:1x2", "--no-circuit",
+                                 "--json", "--no-cache"])
+        assert "cache" not in data
+        assert not (tmp_path / "env").exists()
+
+    def test_jobs_prewarms_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        data = run_json(capsys, ["compare", "hubbard:2x2", "--no-circuit",
+                                 "--json", "--cache-dir", cache, "--jobs", "2"])
+        # The pool compiled everything; the in-process service only read disk.
+        assert data["cache"]["compiles"] == 0
+        assert data["cache"]["hits_disk"] == 4
+
+
+class TestMap:
+    def test_happy_path(self, capsys):
+        assert main(["map", "hubbard:1x2", "--mapping", "jw",
+                     "--show-strings"]) == 0
+        out = capsys.readouterr().out
+        assert "M_0" in out and "vacuum preserved" in out
+
+    def test_output_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "mapping.json"
+        assert main(["map", "hubbard:2x2", "--mapping", "hatt",
+                     "--output", str(out_file)]) == 0
+        loaded = load_mapping(out_file)
+        assert loaded.n_modes == 8
+        assert loaded.tree is not None  # schema v2 embeds the HATT tree
+
+    def test_cached_map_notes_source(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["map", "hubbard:2x2", "--cache-dir", cache]
+        assert main(argv) == 0
+        assert "[compiled" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "[disk" in capsys.readouterr().out
+
+    def test_cached_output_carries_provenance(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        assert main(["map", "hubbard:1x2", "--cache-dir",
+                     str(tmp_path / "cache"), "--output", str(out_file)]) == 0
+        assert load_mapping(out_file).provenance["kind"] == "hatt"
+
+
+class TestCases:
+    def test_happy_path(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "H2_sto3g" in out and "hubbard:" in out
+
+    def test_json_output(self, capsys):
+        data = run_json(capsys, ["cases", "--json"])
+        assert "H2_sto3g" in data["electronic"]
+        assert data["hubbard"]["pattern"] == "hubbard:<AxB>"
+        assert "hatt" in data["mappings"]
+
+
+class TestBatch:
+    def test_batch_json_and_second_pass_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["batch", "hubbard:1x2", "hubbard:2x2", "H2_sto3g",
+                "--mappings", "hatt", "--cache-dir", cache, "--json"]
+        first = run_json(capsys, argv)
+        assert first["n_tasks"] == 3 and first["n_errors"] == 0
+        assert first["n_cache_hits"] == 0
+        second = run_json(capsys, argv)
+        assert second["n_cache_hits"] == 3
+        assert all(t["cache_hit"] for t in second["tasks"])
+        assert [t["pauli_weight"] for t in second["tasks"]] == \
+            [t["pauli_weight"] for t in first["tasks"]]
+
+    def test_batch_table_output_and_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["batch", "hubbard:1x2", "--cache-dir",
+                     str(tmp_path / "cache"), "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "batch suite" in out and "hubbard:1x2" in out
+        assert "hubbard:1x2" in out_file.read_text()
+
+    def test_batch_multiple_kinds_dedup(self, tmp_path, capsys):
+        data = run_json(capsys, ["batch", "hubbard:1x2", "H2_sto3g",
+                                 "--mappings", "hatt,jw", "--cache-dir",
+                                 str(tmp_path / "cache"), "--json"])
+        # Two 4-mode cases share one JW fingerprint.
+        assert data["n_tasks"] == 4 and data["n_unique"] == 3
+
+    def test_batch_parallel_jobs(self, tmp_path, capsys):
+        data = run_json(capsys, ["batch", "hubbard:1x2", "hubbard:2x2",
+                                 "--cache-dir", str(tmp_path / "cache"),
+                                 "--jobs", "2", "--json"])
+        assert data["n_errors"] == 0 and data["n_tasks"] == 2
+
+    def test_batch_error_exit_code(self, tmp_path, capsys):
+        assert main(["batch", "no_such_case", "--cache-dir",
+                     str(tmp_path / "cache"), "--json"]) == 1
+
+    def test_batch_no_cache(self, capsys):
+        data = run_json(capsys, ["batch", "hubbard:1x2", "--no-cache", "--json"])
+        assert data["tasks"][0]["source"] == "compiled"
+
+    def test_batch_invalid_mapping_kind_is_clean_error(self, capsys):
+        assert main(["batch", "hubbard:1x2", "--mappings", "hat",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --mappings" in err and "Traceback" not in err
+
+
+class TestCache:
+    def test_stats_list_clear_cycle(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["map", "hubbard:2x2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        stats = run_json(capsys, ["cache", "stats", "--cache-dir", cache, "--json"])
+        assert stats["n_mappings"] == 1
+
+        entries = run_json(capsys, ["cache", "list", "--cache-dir", cache, "--json"])
+        assert len(entries) == 1 and entries[0]["kind"] == "hatt"
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert ArtifactStore(cache).fingerprints() == []
+
+    def test_human_readable_stats(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "mappings:    0" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if isinstance(a, type(parser._subparsers._group_actions[0])))
+        assert {"compare", "map", "batch", "cache", "cases"} <= set(sub.choices)
+
+    @pytest.mark.parametrize("argv", [
+        ["compare", "hubbard:1x2", "--hatt-backend", "bogus"],
+        ["map", "hubbard:1x2", "--mapping", "bogus"],
+        ["cache", "bogus"],
+    ])
+    def test_invalid_choices_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)

@@ -103,6 +103,45 @@ def _apply_term(term, bits):
     return bits, sign
 
 
+class TestNormalOrderFastPath:
+    """The contraction-free fast path must agree with the generic CAR rewrite
+    on every monomial shape (ordered, block-sortable, repeated, mixed)."""
+
+    def test_exhaustive_small_monomials(self):
+        from itertools import product
+
+        from repro.fermion.operators import _normal_order_term
+
+        actions = [(m, d) for m in range(3) for d in (True, False)]
+        for length in range(5):
+            for term in product(actions, repeat=length):
+                generic = FermionOperator()
+                for t, c in _normal_order_term(term, 1.0):
+                    generic.add_term(t, c)
+                assert FermionOperator({term: 1.0}).normal_order() == generic, term
+
+    def test_block_sort_sign(self):
+        # a†_0 a†_1 = -a†_1 a†_0: one anticommutation swap, no contraction.
+        op = (adag(0) * adag(1)).normal_order()
+        assert op.coefficient(((1, True), (0, True))) == -1.0
+
+    def test_integral_style_term(self):
+        # a†_p a†_q a_r a_s with p<q, r>s — the molecular-Hamiltonian shape.
+        # One swap per block: (-1)·(-1) = +1.
+        op = (adag(1) * adag(3) * a(2) * a(0)).normal_order()
+        assert op.coefficient(((3, True), (1, True), (0, False), (2, False))) == 1.0
+        assert len(op) == 1
+
+    def test_fast_path_none_on_contraction_shapes(self):
+        from repro.fermion.operators import _normal_order_fast
+
+        assert _normal_order_fast(((0, False), (0, True))) is None  # a a†
+        assert _normal_order_fast(((0, True), (0, True))) is None  # repeated
+        assert _normal_order_fast(((1, False), (2, True))) is None  # mixed
+        ordered, sign = _normal_order_fast(((2, True), (0, False), (1, False)))
+        assert ordered == ((2, True), (0, False), (1, False)) and sign == 1
+
+
 class TestHermitian:
     def test_hermitian_conjugate_single(self):
         op = adag(2) * a(0)

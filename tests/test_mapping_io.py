@@ -57,6 +57,80 @@ class TestSerialization:
         assert data["majorana_strings"][0] == "X0"
 
 
+class TestSchemaV2:
+    def test_v1_documents_still_load(self):
+        """Regression: pre-v2 artifacts (no tree/provenance keys) load as-is."""
+        mapping = hatt_mapping(hubbard_case("2x2"))
+        v1 = {
+            "schema": 1,
+            "name": mapping.name,
+            "n_modes": mapping.n_modes,
+            "n_qubits": mapping.n_qubits,
+            "majorana_strings": [s.compact() for s in mapping.strings],
+            "phases": [s.phase for s in mapping.strings],
+            "discarded": mapping.discarded.compact(),
+        }
+        loaded = mapping_from_dict(v1)
+        assert loaded.strings == mapping.strings
+        assert getattr(loaded, "tree", None) is None
+        assert getattr(loaded, "provenance", None) is None
+
+    def test_writer_emits_schema_2(self):
+        assert mapping_to_dict(jordan_wigner(3))["schema"] == 2
+
+    def test_hatt_tree_roundtrips(self, tmp_path):
+        mapping = hatt_mapping(hubbard_case("2x2"))
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 2
+        assert len(data["tree"]["children_uids"]) == mapping.n_modes
+        loaded = load_mapping(path)
+        assert loaded.tree is not None
+        derived = loaded.tree.strings_by_leaf_index()
+        assert derived[:-1] == list(mapping.strings)
+        assert derived[-1] == mapping.discarded.with_phase(0)
+        # A second save round-trips the reconstructed tree unchanged.
+        path2 = tmp_path / "m2.json"
+        save_mapping(loaded, path2)
+        assert json.loads(path2.read_text())["tree"] == data["tree"]
+
+    def test_provenance_roundtrips(self, tmp_path):
+        prov = {"compile_seconds": 1.5, "repro_version": "1.0.0"}
+        path = tmp_path / "m.json"
+        save_mapping(jordan_wigner(3), path, provenance=prov)
+        loaded = load_mapping(path)
+        assert loaded.provenance == prov
+        # Carried through a re-save without an explicit provenance argument.
+        path2 = tmp_path / "m2.json"
+        save_mapping(loaded, path2)
+        assert load_mapping(path2).provenance == prov
+
+    def test_non_tree_mapping_has_null_tree(self):
+        data = mapping_to_dict(bravyi_kitaev(3))
+        assert data["tree"] is None
+
+    def test_inconsistent_tree_rejected(self, tmp_path):
+        mapping = hatt_mapping(hubbard_case("2x2"))
+        data = mapping_to_dict(mapping)
+        # Swap two internal-node triples: topology no longer regenerates the
+        # stored strings.
+        uids = data["tree"]["children_uids"]
+        uids[0], uids[-1] = uids[-1], uids[0]
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+    def test_vacuum_paired_tree_not_embedded(self):
+        """A tree whose Majorana order comes from vacuum pairing (not leaf
+        order) is dropped at save time rather than failing at load time."""
+        from repro.mappings import balanced_ternary_tree
+        from repro.mappings.tree import balanced_tree
+
+        mapping = balanced_ternary_tree(4)
+        mapping.tree = balanced_tree(4)
+        assert mapping_to_dict(mapping)["tree"] is None
+
+
 class TestCLI:
     def test_compare_hubbard(self, capsys):
         assert main(["compare", "hubbard:2x2", "--no-circuit"]) == 0

@@ -1,0 +1,442 @@
+"""Tests for the compilation service layer (repro.service)."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fermion import FermionOperator, MajoranaOperator
+from repro.models import load_case
+from repro.service import (
+    ArtifactStore,
+    MappingService,
+    MappingSpec,
+    compile_mapping,
+    compile_suite,
+    default_cache_dir,
+    expand_tasks,
+    fingerprint_operator,
+    fingerprint_request,
+    iter_compile_suite,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: random Hermitian-ish fermionic operators
+# ----------------------------------------------------------------------
+actions = st.tuples(st.integers(0, 5), st.booleans())
+monomials = st.lists(actions, min_size=0, max_size=4).map(tuple)
+coeffs = st.complex_numbers(
+    min_magnitude=1e-6, max_magnitude=10, allow_nan=False, allow_infinity=False
+)
+term_lists = st.lists(st.tuples(monomials, coeffs), min_size=1, max_size=8)
+
+
+def build_operator(terms):
+    op = FermionOperator()
+    for actions_, coeff in terms:
+        op.add_term(actions_, coeff)
+    return op
+
+
+class TestFingerprint:
+    @settings(max_examples=60, deadline=None)
+    @given(term_lists, st.randoms(use_true_random=False))
+    def test_term_order_invariant(self, terms, rng):
+        """The satellite hardening property: physically identical operators
+        built in different term orders hash identically."""
+        shuffled = list(terms)
+        rng.shuffle(shuffled)
+        spec = MappingSpec(kind="hatt")
+        a, b = build_operator(terms), build_operator(shuffled)
+        if a.n_modes == 0:
+            return  # pure scalars carry no modes to map
+        assert fingerprint_request(a, spec) == fingerprint_request(b, spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(term_lists)
+    def test_zero_terms_dropped(self, terms):
+        """Adding and subtracting a term leaves the fingerprint unchanged."""
+        op = build_operator(terms)
+        if op.n_modes == 0:
+            return
+        op2 = build_operator(terms)
+        op2.add_term(((7, True), (7, False)), 2.5)
+        op2.add_term(((7, True), (7, False)), -2.5)
+        spec = MappingSpec(kind="hatt", n_modes=max(op.n_modes, 8))
+        assert fingerprint_request(op, spec) == fingerprint_request(op2, spec)
+
+    def test_sub_tolerance_jitter_collides(self):
+        a = FermionOperator({((0, True), (0, False)): 1.0})
+        b = FermionOperator({((0, True), (0, False)): 1.0 + 1e-14})
+        spec = MappingSpec(kind="hatt")
+        assert fingerprint_request(a, spec) == fingerprint_request(b, spec)
+
+    def test_negative_zero_collides_with_zero(self):
+        a = FermionOperator({((0, True), (0, False)): 1.0 + 0.0j})
+        b = FermionOperator({((0, True), (0, False)): 1.0 - 0.0j})
+        assert fingerprint_operator(a) == fingerprint_operator(b)
+
+    def test_distinct_coefficients_fork(self):
+        a = FermionOperator({((0, True), (0, False)): 1.0})
+        b = FermionOperator({((0, True), (0, False)): 1.5})
+        assert fingerprint_operator(a) != fingerprint_operator(b)
+
+    def test_kind_and_modes_fork(self):
+        h = load_case("hubbard:1x2")
+        fps = {
+            fingerprint_request(h, MappingSpec(kind=k)) for k in ("hatt", "jw", "bk")
+        }
+        assert len(fps) == 3
+        assert fingerprint_request(h, MappingSpec(kind="jw", n_modes=4)) != \
+            fingerprint_request(h, MappingSpec(kind="jw", n_modes=6))
+
+    def test_vacuum_flag_forks(self):
+        h = load_case("hubbard:1x2")
+        assert fingerprint_request(h, MappingSpec(kind="hatt")) != \
+            fingerprint_request(h, MappingSpec(kind="hatt-unopt"))
+
+    def test_backend_and_cached_do_not_fork(self):
+        h = load_case("hubbard:1x2")
+        base = fingerprint_request(h, MappingSpec(kind="hatt"))
+        for backend in ("vector", "scalar"):
+            for cached in (True, False):
+                spec = MappingSpec(kind="hatt", hatt_backend=backend, cached=cached)
+                assert fingerprint_request(h, spec) == base
+
+    def test_static_kinds_ignore_hamiltonian(self):
+        a, b = load_case("hubbard:1x2"), load_case("H2_sto3g")
+        assert a.n_modes == b.n_modes == 4
+        spec = MappingSpec(kind="jw")
+        assert fingerprint_request(a, spec) == fingerprint_request(b, spec)
+        assert fingerprint_request(a, MappingSpec(kind="hatt")) != \
+            fingerprint_request(b, MappingSpec(kind="hatt"))
+
+    def test_majorana_form_supported(self):
+        h = MajoranaOperator.from_fermion_operator(load_case("hubbard:1x2"))
+        fp = fingerprint_request(h, MappingSpec(kind="hatt"))
+        assert len(fp) == 64 and fp == fingerprint_request(h, MappingSpec(kind="hatt"))
+
+    def test_stable_across_processes(self):
+        """SHA-256 over canonical JSON — immune to interpreter hash salting."""
+        code = (
+            "from repro.models import load_case\n"
+            "from repro.service import MappingSpec, fingerprint_request\n"
+            "print(fingerprint_request(load_case('hubbard:2x2'), "
+            "MappingSpec(kind='hatt')))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC, PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, check=True,
+        ).stdout.strip()
+        expected = fingerprint_request(
+            load_case("hubbard:2x2"), MappingSpec(kind="hatt")
+        )
+        assert out == expected
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MappingSpec(kind="nope")
+
+    def test_memo_invalidated_on_mutation(self):
+        """The per-operator canonical-form memo must never serve stale keys."""
+        h = load_case("hubbard:1x2")
+        spec = MappingSpec(kind="hatt")
+        fp1 = fingerprint_request(h, spec)
+        assert fingerprint_request(h, spec) == fp1  # memoized path
+        h.add_term(((0, True), (0, False)), 0.25)
+        fp2 = fingerprint_request(h, spec)
+        assert fp2 != fp1
+        h.add_term(((0, True), (0, False)), -0.25)
+        assert fingerprint_request(h, spec) == fp1
+
+    def test_memo_respects_tolerance(self):
+        h = load_case("hubbard:1x2")
+        a = fingerprint_operator(h, tol=1e-12)
+        b = fingerprint_operator(h, tol=1e-6)
+        assert a != b  # tol is part of the payload, memo keyed on it
+        assert fingerprint_operator(h, tol=1e-12) == a
+
+    def test_majorana_memo_invalidated_on_mutation(self):
+        m = MajoranaOperator.from_fermion_operator(load_case("hubbard:1x2"))
+        fp1 = fingerprint_operator(m)
+        m.add_term((0, 1), 0.5)
+        assert fingerprint_operator(m) != fp1
+
+
+class TestArtifactStore:
+    def test_roundtrip_bit_identical(self, tmp_path):
+        h = load_case("hubbard:2x2")
+        mapping = compile_mapping(h, MappingSpec(kind="hatt").resolve(h))
+        store = ArtifactStore(tmp_path)
+        fp = fingerprint_request(h, MappingSpec(kind="hatt"))
+        store.put_mapping(fp, mapping, provenance={"compile_seconds": 0.1})
+        loaded = store.get_mapping(fp)
+        assert loaded.strings == mapping.strings
+        assert loaded.provenance["compile_seconds"] == 0.1
+        assert loaded.tree is not None
+        assert store.contains(fp)
+        assert store.fingerprints() == [fp]
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).get_mapping("ab" * 32) is None
+
+    def test_corrupt_mapping_is_a_miss_and_quarantined(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path)
+        fp = "cd" * 32
+        path = store.put_mapping(fp, mapping)
+        path.write_text("{ not json")
+        assert store.get_mapping(fp) is None
+        assert not path.exists()  # quarantined
+        assert store.stats()["corrupt_dropped"] == 1
+        # A put repairs the entry.
+        store.put_mapping(fp, mapping)
+        assert store.get_mapping(fp) is not None
+
+    def test_unreadable_file_is_a_miss_but_not_quarantined(self, tmp_path):
+        """Transient I/O errors must not delete a valid, expensive artifact."""
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path)
+        fp = "ab" * 32
+        path = store.put_mapping(fp, mapping)
+        path.chmod(0)
+        try:
+            if path.read_text() is not None:  # running as root: chmod no-op
+                pytest.skip("permissions not enforced for this user")
+        except PermissionError:
+            assert store.get_mapping(fp) is None
+            assert path.exists()  # still on disk, NOT quarantined
+            assert store.stats()["corrupt_dropped"] == 0
+        finally:
+            path.chmod(0o644)
+
+    def test_semantically_corrupt_document_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = "ef" * 32
+        path = store.mapping_path(fp)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": 2, "name": "x"}))  # missing keys
+        assert store.get_mapping(fp) is None
+        assert store.stats()["corrupt_dropped"] == 1
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path)
+        fp = "12" * 32
+        for _ in range(3):
+            store.put_mapping(fp, mapping)
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_reports(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = "34" * 32
+        store.put_report(fp, {"pauli_weight": 76})
+        assert store.get_report(fp) == {"pauli_weight": 76}
+
+    def test_remove_and_clear(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path)
+        for fp in ("ab" * 32, "cd" * 32):
+            store.put_mapping(fp, mapping)
+        assert store.remove("ab" * 32)
+        assert store.fingerprints() == ["cd" * 32]
+        assert store.clear() == 1
+        assert store.fingerprints() == []
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.mapping_path("../../etc/passwd")
+
+    def test_env_default_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert ArtifactStore().root == tmp_path / "envcache"
+
+
+class TestMappingService:
+    def test_cold_miss_then_memory_then_disk(self, tmp_path):
+        h = load_case("hubbard:2x2")
+        spec = MappingSpec(kind="hatt")
+        svc = MappingService(cache_dir=tmp_path)
+        r1 = svc.get_or_compile(h, spec)
+        r2 = svc.get_or_compile(h, spec)
+        assert (r1.source, r2.source) == ("compiled", "memory")
+        assert not r1.cache_hit and r2.cache_hit
+        fresh = MappingService(cache_dir=tmp_path)
+        r3 = fresh.get_or_compile(h, spec)
+        assert r3.source == "disk"
+        stats = svc.stats()
+        assert stats["compiles"] == 1 and stats["hits_memory"] == 1
+
+    def test_warm_mapping_bit_identical_to_fresh_compile(self, tmp_path):
+        """Acceptance: warm hits return Majorana strings bit-identical to a
+        fresh compile."""
+        h = load_case("LiH_sto3g")
+        spec = MappingSpec(kind="hatt")
+        MappingService(cache_dir=tmp_path).get_or_compile(h, spec)
+        warm = MappingService(cache_dir=tmp_path).get_or_compile(h, spec)
+        fresh = compile_mapping(h, spec.resolve(h))
+        assert warm.source == "disk"
+        assert warm.mapping.strings == fresh.strings
+        assert [s.phase for s in warm.mapping.strings] == \
+            [s.phase for s in fresh.strings]
+
+    def test_provenance_written(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        svc = MappingService(cache_dir=tmp_path)
+        r = svc.get_or_compile(h, MappingSpec(kind="hatt"))
+        prov = svc.store.provenance(r.fingerprint)
+        assert prov["kind"] == "hatt"
+        assert prov["repro_version"]
+        assert prov["compile_seconds"] >= 0
+
+    def test_lru_eviction_falls_back_to_disk(self, tmp_path):
+        svc = MappingService(cache_dir=tmp_path, memory_capacity=1)
+        h1, h2 = load_case("hubbard:1x2"), load_case("hubbard:2x2")
+        spec = MappingSpec(kind="hatt")
+        svc.get_or_compile(h1, spec)
+        svc.get_or_compile(h2, spec)  # evicts h1 from memory
+        assert svc.get_or_compile(h1, spec).source == "disk"
+        assert svc.get_or_compile(h1, spec).source == "memory"
+
+    def test_memory_only_service(self, tmp_path):
+        svc = MappingService(use_disk=False)
+        h = load_case("hubbard:1x2")
+        spec = MappingSpec(kind="hatt")
+        assert svc.get_or_compile(h, spec).source == "compiled"
+        assert svc.get_or_compile(h, spec).source == "memory"
+        assert svc.store is None
+
+    def test_single_flight_compiles_once(self, tmp_path):
+        """A thundering herd of identical requests costs one compile."""
+        h = load_case("hubbard:2x3")
+        spec = MappingSpec(kind="hatt")
+        svc = MappingService(cache_dir=tmp_path)
+        barrier = threading.Barrier(6)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(svc.get_or_compile(h, spec))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = svc.stats()
+        assert stats["compiles"] == 1
+        assert len({r.fingerprint for r in results}) == 1
+        assert sum(r.source == "compiled" for r in results) == 1
+        ref = results[0].mapping.strings
+        assert all(r.mapping.strings == ref for r in results)
+
+    def test_corrupt_disk_entry_recompiles(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        spec = MappingSpec(kind="hatt")
+        svc = MappingService(cache_dir=tmp_path)
+        r = svc.get_or_compile(h, spec)
+        svc.store.mapping_path(r.fingerprint).write_text("garbage")
+        fresh = MappingService(cache_dir=tmp_path)
+        r2 = fresh.get_or_compile(h, spec)
+        assert r2.source == "compiled"
+        assert r2.mapping.strings == r.mapping.strings
+
+
+class TestBatch:
+    CASES = ["hubbard:1x2", "hubbard:2x2", "H2_sto3g"]
+
+    def test_expand_tasks_dedups_and_validates(self):
+        tasks = expand_tasks(["a", "a", "b"], ["hatt", "jw"])
+        assert len(tasks) == 4
+        with pytest.raises(ValueError):
+            expand_tasks(["a"], ["nope"])
+
+    def test_serial_suite_correct_and_deduped(self, tmp_path):
+        report = compile_suite(self.CASES, ["hatt", "jw"], cache_dir=tmp_path)
+        assert report.n_tasks == 6 and report.n_errors == 0
+        # hubbard:1x2 and H2_sto3g are both 4-mode, so their JW compiles
+        # share a fingerprint: 5 unique compiles for 6 tasks.
+        assert report.n_unique == 5
+        weights = {(t.case, t.kind): t.pauli_weight for t in report.tasks}
+        h = load_case("hubbard:2x2")
+        expected = compile_mapping(h, MappingSpec(kind="hatt").resolve(h))
+        assert weights[("hubbard:2x2", "hatt")] == expected.map(h).pauli_weight()
+
+    def test_second_pass_all_cache_hits(self, tmp_path):
+        compile_suite(self.CASES, ["hatt"], cache_dir=tmp_path)
+        report = compile_suite(self.CASES, ["hatt"], cache_dir=tmp_path)
+        assert all(t.cache_hit for t in report.tasks), report.to_dict()
+        assert report.n_cache_hits == report.n_tasks
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = compile_suite(self.CASES, ["hatt", "jw"], use_cache=False)
+        parallel = compile_suite(
+            self.CASES, ["hatt", "jw"], jobs=2, use_cache=False
+        )
+        assert parallel.n_errors == 0
+        key = lambda r: [(t.case, t.kind, t.fingerprint, t.pauli_weight)  # noqa: E731
+                         for t in r.tasks]
+        assert key(parallel) == key(serial)
+
+    def test_parallel_workers_share_disk_cache(self, tmp_path):
+        compile_suite(self.CASES, ["hatt"], jobs=2, cache_dir=tmp_path)
+        report = compile_suite(self.CASES, ["hatt"], jobs=2, cache_dir=tmp_path)
+        assert all(t.cache_hit for t in report.tasks), report.to_dict()
+
+    def test_bad_case_is_per_task_error(self, tmp_path):
+        report = compile_suite(
+            ["hubbard:1x2", "no_such_case"], ["hatt"], cache_dir=tmp_path
+        )
+        by_case = {t.case: t for t in report.tasks}
+        assert by_case["hubbard:1x2"].ok
+        assert not by_case["no_such_case"].ok
+        assert "no_such_case" in report.table() or by_case["no_such_case"].error
+
+    def test_streaming_iterator_yields_all_tasks(self, tmp_path):
+        seen = list(iter_compile_suite(self.CASES, ["hatt"], cache_dir=tmp_path))
+        assert {(t.case, t.kind) for t in seen} == {(c, "hatt") for c in self.CASES}
+
+    def test_no_eval_skips_weights(self, tmp_path):
+        report = compile_suite(
+            ["hubbard:1x2"], ["hatt"], cache_dir=tmp_path, evaluate=False
+        )
+        assert report.tasks[0].pauli_weight is None
+
+    def test_report_serializes(self, tmp_path):
+        report = compile_suite(["hubbard:1x2"], ["hatt"], cache_dir=tmp_path)
+        blob = json.dumps(report.to_dict())
+        assert "fingerprint" in blob
+        assert "hubbard:1x2" in report.table()
+
+
+class TestPipelineIntegration:
+    def test_compare_mappings_with_service_matches_direct(self, tmp_path):
+        from repro.analysis import compare_mappings
+
+        h = load_case("hubbard:2x2")
+        svc = MappingService(cache_dir=tmp_path)
+        direct = compare_mappings(h, 8, compile_circuit=False)
+        via_service = compare_mappings(h, 8, compile_circuit=False, service=svc)
+        assert {k: r.to_dict() for k, r in direct.items()} == \
+            {k: r.to_dict() for k, r in via_service.items()}
+        # Second run is served entirely from cache.
+        compare_mappings(h, 8, compile_circuit=False, service=svc)
+        stats = svc.stats()
+        assert stats["compiles"] == 4 and stats["hits_memory"] == 4
