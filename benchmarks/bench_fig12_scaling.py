@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 from conftest import full_run
-from repro.analysis import format_table, write_result, write_result_json
+from repro.analysis import format_table, write_bench_json, write_result
 from repro.fermion import MajoranaOperator
 from repro.fermihedral import fermihedral_mapping
 from repro.hatt import HattConstruction
@@ -141,12 +141,7 @@ def fig12():
         "speedup_at_top": {"n": n_top, **{k: round(v, 2) for k, v in speedups.items()}},
         "min_speedup_floor": MIN_SPEEDUP,
     }
-    write_result_json("fig12_scaling", payload)
-    if not SMOKE:
-        # Only canonical (non-smoke) runs refresh the committed repo-root
-        # artifact; CI smoke runs keep just the results_dir copy so they
-        # never dirty the tracked file with toy-size timings.
-        write_result_json("fig12_scaling", payload, path=JSON_PATH)
+    write_bench_json("fig12_scaling", payload, JSON_PATH, refresh_committed=not SMOKE)
     return times, slopes, speedups
 
 

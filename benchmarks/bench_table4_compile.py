@@ -1,0 +1,245 @@
+"""Paper Table IV: architecture-aware compilation via the hardware pipeline.
+
+JW / BK / BTT / HATT single-Trotter-step circuits synthesized with the
+mutual-support ladder pass, peephole-optimized, and routed onto the four
+coupling-graph stand-ins (Manhattan, Montreal, Sycamore, IonQ Forte) with
+the SABRE-lite router.  Supersedes the old ``bench_table4_tetris`` harness:
+it sweeps every mapping kind, records SWAP counts, cross-checks the two
+router engines, and enforces the vectorized router's speedup floor.
+
+Paper-claim checks, honestly scoped:
+
+* On the collective-neutrino cases (§V-B2, all-to-all interactions — the
+  paper's flagship for HATT) routed HATT beats JW and BK on **every**
+  architecture; this is asserted per-architecture, in smoke mode too.
+* On the electronic-structure subset our router is weaker than Tetris on
+  HATT's less regular ladders (heavy-hex rows suit JW's linear chains), so
+  only an aggregate bound is asserted there (see EXPERIMENTS.md note in
+  the old harness).
+
+Router speedup: each SWAP decision of the ``vector`` engine is one batched
+integer kernel whose cost is independent of the lookahead horizon, while
+the ``scalar`` reference scans every window position per candidate.  The
+floor is asserted at the deep-horizon configuration (lookahead=1024) on
+the largest case, where that structural difference is the measurement —
+both engines emit bit-identical circuits at every horizon.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke step) for a toy-size run that
+still exercises every assertion.  Results are written to the committed
+repo-root ``BENCH_table4.json`` on canonical runs.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import full_run
+from repro.analysis import write_bench_json, write_result
+from repro.circuits import route_circuit, to_cx_u3, trotter_circuit
+from repro.compile import ARCHITECTURES, CompilationPipeline, CompileOptions
+from repro.models import load_case
+from repro.service import MappingSpec, compile_mapping
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+
+NEUTRINO_CASES = ["neutrino:2x2F"]
+if SMOKE:
+    CASES = ["H2_sto3g"] + NEUTRINO_CASES
+    SPEEDUP_CASE = "H2O_sto3g"
+    SPEEDUP_REPEATS = 1
+elif full_run():
+    NEUTRINO_CASES += ["neutrino:3x2F", "neutrino:4x2F"]
+    CASES = ["H2_sto3g", "H2_631g", "LiH_sto3g_frz", "hubbard:2x3",
+             "H2O_sto3g"] + NEUTRINO_CASES
+    SPEEDUP_CASE = "H2O_sto3g"
+    SPEEDUP_REPEATS = 3
+else:
+    NEUTRINO_CASES += ["neutrino:3x2F"]
+    CASES = ["H2_sto3g", "LiH_sto3g_frz", "hubbard:2x3", "H2O_sto3g"] + NEUTRINO_CASES
+    SPEEDUP_CASE = "H2O_sto3g"
+    SPEEDUP_REPEATS = 3
+
+KINDS = ("jw", "bk", "btt", "hatt")
+
+#: Acceptance floor: the vector router must beat the scalar reference by
+#: this factor on the largest case at the deep-horizon configuration.
+MIN_SPEEDUP = 3.0
+
+#: Deep-horizon routing configuration for the speedup measurement (the
+#: vector engine's decision cost is flat in the horizon; the scalar
+#: reference's is linear).
+DEEP_LOOKAHEAD = 1024
+
+#: Electronic aggregate bound: routed HATT within this factor of routed JW
+#: summed over every (electronic case, architecture) pair.
+ELECTRONIC_AGGREGATE = 1.15
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_table4.json"
+
+
+@pytest.fixture(scope="module")
+def table4():
+    pipeline = CompilationPipeline()
+    reports = {}
+    for case in CASES:
+        reports[case] = pipeline.sweep(load_case(case), kinds=KINDS, case=case)
+    content = "\n\n".join(reports[case].table() for case in CASES)
+    write_result("table4_compile", content)
+    return reports
+
+
+@pytest.fixture(scope="module")
+def speedup():
+    """Deep-horizon routing time, vector vs scalar, on the largest case."""
+    h = load_case(SPEEDUP_CASE)
+    mapping = compile_mapping(h, MappingSpec(kind="jw", n_modes=h.n_modes))
+    circuit = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
+    from repro.circuits import architecture
+
+    graph = architecture("manhattan")
+    times = {}
+    routed = {}
+    for backend in ("vector", "scalar"):
+        best = float("inf")
+        for _ in range(SPEEDUP_REPEATS):
+            start = time.perf_counter()
+            routed[backend] = route_circuit(
+                circuit, graph, lookahead=DEEP_LOOKAHEAD, backend=backend
+            )
+            best = min(best, time.perf_counter() - start)
+        times[backend] = best
+    return circuit, routed, times
+
+
+def test_table4_emits_all_metrics(table4):
+    for case, report in table4.items():
+        for arch in ARCHITECTURES:
+            for kind in KINDS:
+                m = report.metrics[arch][kind]
+                assert m.routed_cx > 0 and m.routed_depth > 0, (case, arch, kind)
+                assert m.routed_swaps >= 0
+                assert m.n_physical >= m.n_qubits
+
+
+def test_table4_no_swaps_on_all_to_all(table4):
+    for report in table4.values():
+        for m in report.metrics["ionq_forte"].values():
+            assert m.routed_swaps == 0
+
+
+def test_table4_hatt_wins_on_neutrino(table4):
+    """§V-B2 flagship: routed HATT ≤ JW and BK on every architecture."""
+    for case in NEUTRINO_CASES:
+        for arch, per_kind in table4[case].metrics.items():
+            hatt = per_kind["hatt"].routed_cx
+            assert hatt <= per_kind["jw"].routed_cx, (case, arch)
+            assert hatt <= per_kind["bk"].routed_cx, (case, arch)
+
+
+def test_table4_electronic_aggregate(table4):
+    """Electronic subset: HATT's aggregate routed CNOTs stay within the
+    honesty bound of JW's (our SABRE-lite router favors JW's linear
+    ladders on heavy-hex; Tetris would close this gap)."""
+    electronic = [c for c in CASES if c not in NEUTRINO_CASES]
+    jw_total = hatt_total = 0
+    for case in electronic:
+        for per_kind in table4[case].metrics.values():
+            jw_total += per_kind["jw"].routed_cx
+            hatt_total += per_kind["hatt"].routed_cx
+    assert hatt_total <= jw_total * ELECTRONIC_AGGREGATE, (hatt_total, jw_total)
+
+
+def test_router_backends_bit_identical(table4):
+    """Both engines produce identical gate sequences at several horizons."""
+    from repro.circuits import architecture
+
+    case = CASES[0]
+    h = load_case(case)
+    mapping = compile_mapping(h, MappingSpec(kind="hatt", n_modes=h.n_modes))
+    circuit = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
+    for arch in ARCHITECTURES:
+        graph = architecture(arch)
+        for lookahead in (4, 64, 256, DEEP_LOOKAHEAD):
+            vec = route_circuit(circuit, graph, lookahead=lookahead, backend="vector")
+            sca = route_circuit(circuit, graph, lookahead=lookahead, backend="scalar")
+            assert vec.circuit.gates == sca.circuit.gates, (arch, lookahead)
+            assert vec.final_layout == sca.final_layout, (arch, lookahead)
+
+
+@pytest.fixture(scope="module")
+def bench_json(table4, speedup):
+    """Write the benchmark payload (runs regardless of assertion outcomes)."""
+    circuit, routed, times = speedup
+    ratio = times["scalar"] / times["vector"]
+    payload = {
+        "smoke": SMOKE,
+        "full": full_run(),
+        "cases": CASES,
+        "kinds": list(KINDS),
+        "architectures": list(ARCHITECTURES),
+        "options": {
+            "term_order": CompileOptions().term_order,
+            "lookahead": CompileOptions().lookahead,
+        },
+        "metrics": {
+            case: {
+                arch: {
+                    kind: {
+                        "pauli_weight": m.pauli_weight,
+                        "logical_cx": m.logical_cx,
+                        "routed_cx": m.routed_cx,
+                        "routed_swaps": m.routed_swaps,
+                        "routed_depth": m.routed_depth,
+                    }
+                    for kind, m in per_arch.items()
+                }
+                for arch, per_arch in table4[case].metrics.items()
+            }
+            for case in CASES
+        },
+        "router_speedup": {
+            "case": SPEEDUP_CASE,
+            "architecture": "manhattan",
+            "lookahead": DEEP_LOOKAHEAD,
+            "n_gates": len(circuit),
+            "vector_s": round(times["vector"], 4),
+            "scalar_s": round(times["scalar"], 4),
+            "speedup": round(ratio, 2),
+            "min_floor": MIN_SPEEDUP,
+        },
+    }
+    path = write_bench_json(
+        "table4_compile", payload, JSON_PATH, refresh_committed=not SMOKE
+    )
+    return path, payload
+
+
+def test_routing_speedup_floor(speedup, bench_json):
+    circuit, routed, times = speedup
+    assert routed["vector"].circuit.gates == routed["scalar"].circuit.gates
+    assert times["scalar"] / times["vector"] >= MIN_SPEEDUP, times
+
+
+def test_table4_json_written(bench_json):
+    import json
+
+    path, payload = bench_json
+    data = json.loads(path.read_text())
+    assert data["router_speedup"]["case"] == SPEEDUP_CASE
+    assert data["metrics"] == payload["metrics"]
+    if not SMOKE:
+        # Canonical runs also refresh the committed repo-root artifact.
+        assert JSON_PATH.exists()
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+def test_bench_routing(benchmark, arch, table4):
+    from repro.circuits import architecture
+
+    h = load_case("H2_sto3g")
+    mapping = compile_mapping(h, MappingSpec(kind="jw", n_modes=h.n_modes))
+    circ = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
+    graph = architecture(arch)
+    benchmark.pedantic(lambda: route_circuit(circ, graph), rounds=3, iterations=1)

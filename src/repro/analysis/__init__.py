@@ -14,7 +14,13 @@ from .pipeline import (
     evaluate_mapping,
     standard_mappings,
 )
-from .tables import format_table, results_dir, write_result, write_result_json
+from .tables import (
+    format_table,
+    results_dir,
+    write_bench_json,
+    write_result,
+    write_result_json,
+)
 from .trotter_error import commutator_weight, empirical_trotter_error, trotter_error_bound
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "format_table",
     "write_result",
     "write_result_json",
+    "write_bench_json",
     "results_dir",
     "EnergyExperiment",
     "noisy_energy_experiment",

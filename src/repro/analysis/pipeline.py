@@ -76,12 +76,18 @@ def evaluate_mapping(
     compile_circuit: bool = True,
     synthesis: str = "naive",
     time: float = 1.0,
+    term_order: str = "lexicographic",
 ) -> MappingReport:
     """Map, optionally synthesize one Trotter step, optimize, and measure.
 
     ``synthesis``: ``"naive"`` (per-term ladders + peephole — the paper's
     Paulihedral/Qiskit-L3 stand-in) or ``"grouped"`` (simultaneous
     diagonalization — the Rustiq stand-in).
+
+    ``term_order`` is forwarded to :func:`~repro.circuits.trotter_circuit`
+    for the naive synthesis; ``"mutual"`` aligns adjacent CNOT ladders on
+    their mutual support, cutting CNOTs below the lexicographic default
+    (the hardware pipeline's setting — see :mod:`repro.compile`).
     """
     hq = mapping.map(hamiltonian)
     # One packed-table conversion serves every weight statistic (the scalar
@@ -98,7 +104,7 @@ def evaluate_mapping(
     )
     if compile_circuit:
         if synthesis == "naive":
-            circuit = trotter_circuit(hq, time=time)
+            circuit = trotter_circuit(hq, time=time, order=term_order)
         elif synthesis == "grouped":
             circuit = grouped_evolution_circuit(hq, time=time)
         else:
@@ -138,6 +144,7 @@ def compare_mappings(
     include_unopt: bool = False,
     hatt_backend: str = "vector",
     service: "object | None" = None,
+    term_order: str = "lexicographic",
 ) -> dict[str, MappingReport]:
     """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian.
 
@@ -174,7 +181,11 @@ def compare_mappings(
             )
     return {
         name: evaluate_mapping(
-            hamiltonian, m, compile_circuit=compile_circuit, synthesis=synthesis
+            hamiltonian,
+            m,
+            compile_circuit=compile_circuit,
+            synthesis=synthesis,
+            term_order=term_order,
         )
         for name, m in mappings.items()
     }

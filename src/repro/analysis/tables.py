@@ -10,7 +10,13 @@ import json
 import os
 from pathlib import Path
 
-__all__ = ["format_table", "write_result", "write_result_json", "results_dir"]
+__all__ = [
+    "format_table",
+    "write_result",
+    "write_result_json",
+    "write_bench_json",
+    "results_dir",
+]
 
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:
@@ -55,3 +61,22 @@ def write_result_json(name: str, payload: dict, path: str | Path | None = None) 
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target
+
+
+def write_bench_json(
+    name: str,
+    payload: dict,
+    committed_path: str | Path,
+    refresh_committed: bool,
+) -> Path:
+    """The benchmarks' two-destination JSON convention in one place.
+
+    Every run refreshes the ``results_dir()`` copy (uploaded as a CI
+    artifact); only canonical runs (``refresh_committed=True`` — i.e. not
+    smoke-sized) also rewrite the committed repo-root artifact, so CI smoke
+    runs never dirty the tracked file with toy-size timings.
+    """
+    path = write_result_json(name, payload)
+    if refresh_committed:
+        write_result_json(name, payload, path=committed_path)
+    return path

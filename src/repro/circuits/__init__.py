@@ -15,13 +15,22 @@ from .diagonalize import (
     grouped_evolution_circuit,
 )
 from .evolution import (
+    TERM_ORDERS,
     evolution_term_circuit,
+    mutual_support_chain,
     order_terms_lexicographic,
     trotter_circuit,
 )
 from .gates import Gate, gate_matrix
 from .optimize import cancel_adjacent, fuse_single_qubit, optimize, to_cx_u3, zyz_angles
-from .routing import RoutedCircuit, initial_layout, route_circuit
+from .routing import (
+    DEFAULT_LOOKAHEAD,
+    ROUTER_BACKENDS,
+    RoutedCircuit,
+    distance_matrix,
+    initial_layout,
+    route_circuit,
+)
 from .tableau import conjugate_pauli, conjugate_through_circuit
 
 __all__ = [
@@ -50,4 +59,9 @@ __all__ = [
     "route_circuit",
     "RoutedCircuit",
     "initial_layout",
+    "distance_matrix",
+    "ROUTER_BACKENDS",
+    "DEFAULT_LOOKAHEAD",
+    "TERM_ORDERS",
+    "mutual_support_chain",
 ]

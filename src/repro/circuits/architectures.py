@@ -10,6 +10,14 @@ Offline we generate faithful stand-ins:
   heavy-hex expensive;
 * a 54-qubit Sycamore-style diagonal grid (degree ≤ 4);
 * an all-to-all 36-qubit graph standing in for IonQ Forte 1.
+
+Routing tables (all-pairs distance matrix, sorted/padded adjacency) are
+cached on each graph instance by :mod:`.routing`, so reuse one graph per
+architecture across a sweep — :class:`repro.compile.CompilationPipeline`
+does this for you.  ``benchmarks/bench_table4_compile.py`` sweeps every
+mapping kind over all four graphs and enforces the paper-claim assertions
+and the router-speedup floor; committed numbers live in
+``BENCH_table4.json``.
 """
 
 from __future__ import annotations

@@ -131,9 +131,18 @@ def fuse_single_qubit(circuit: Circuit) -> Circuit:
 
 
 def _expand_to_cx(circuit: Circuit) -> Circuit:
-    """Rewrite cz and swap into cx + 1q gates."""
+    """Rewrite cz and swap into cx + 1q gates.
+
+    A SWAP has two CX decompositions (``cx(a,b)·cx(b,a)·cx(a,b)`` and its
+    mirror); both are palindromes, so the orientation fixes the *outer* CX
+    pair.  Routed circuits constantly emit a SWAP right next to a CX on the
+    same edge, so the orientation is chosen to match the neighbouring CX —
+    the cancellation pass then deletes the touching pair (2 CX per oriented
+    junction).
+    """
+    gates = circuit.gates
     out = Circuit(circuit.n_qubits)
-    for gate in circuit.gates:
+    for i, gate in enumerate(gates):
         if gate.name == "cz":
             c, t = gate.qubits
             out.add("h", t)
@@ -141,6 +150,15 @@ def _expand_to_cx(circuit: Circuit) -> Circuit:
             out.add("h", t)
         elif gate.name == "swap":
             a, b = gate.qubits
+            prev = out.gates[-1] if out.gates else None
+            nxt = gates[i + 1] if i + 1 < len(gates) else None
+            if (prev is not None and prev.name == "cx" and prev.qubits == (b, a)) or (
+                not (prev is not None and prev.name == "cx" and prev.qubits == (a, b))
+                and nxt is not None
+                and nxt.name == "cx"
+                and nxt.qubits == (b, a)
+            ):
+                a, b = b, a
             out.add("cx", a, b)
             out.add("cx", b, a)
             out.add("cx", a, b)

@@ -5,6 +5,9 @@ Commands
 ``compare``  Evaluate JW/BK/BTT/HATT on a benchmark Hamiltonian and print a
              Table-I-style row set (``--json`` for machine-readable output).
 ``map``      Compile one mapping and optionally save it to JSON.
+``compile``  Route a single-Trotter-step circuit onto hardware coupling
+             graphs and print a Table-IV-style row set (routed CNOT / SWAP /
+             depth per mapping kind × architecture).
 ``batch``    Compile a suite of cases × mappings through the compilation
              service (fingerprint dedup, process-pool fan-out, shared cache).
 ``cache``    Inspect or clear the content-addressed mapping cache.
@@ -161,6 +164,59 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# compile
+# ----------------------------------------------------------------------
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compile import ARCHITECTURES, CompilationPipeline, CompileOptions
+
+    if args.arch == "all":
+        archs = ARCHITECTURES
+    elif args.arch in ARCHITECTURES:
+        archs = (args.arch,)
+    else:
+        print(
+            f"repro compile: error: unknown --arch {args.arch!r} "
+            f"(choose from {', '.join(ARCHITECTURES)} or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    kinds = tuple(k.strip() for k in args.mappings.split(",") if k.strip())
+    bad = [k for k in kinds if k not in MAPPING_KINDS]
+    if bad or not kinds:
+        print(
+            f"repro compile: error: invalid --mappings {args.mappings!r} "
+            f"(choose from {','.join(MAPPING_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    h = load_case(args.case)
+    cache_dir = _resolve_cache_dir(args, opt_in=True)
+    _prewarm(args, cache_dir, [args.case], list(kinds))
+    service = _make_service(cache_dir)
+    opt_kwargs = {"term_order": args.order, "router_backend": args.router_backend}
+    if args.lookahead is not None:
+        opt_kwargs["lookahead"] = args.lookahead
+    pipeline = CompilationPipeline(
+        service=service,
+        options=CompileOptions(**opt_kwargs),
+        hatt_backend=args.hatt_backend,
+    )
+    report = pipeline.sweep(h, kinds=kinds, architectures=archs, case=args.case)
+    if args.json:
+        payload = report.to_dict()
+        payload["pipeline"] = dict(pipeline.stats)
+        if service is not None:
+            payload["cache"] = service.stats()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(report.table())
+    if service is not None:
+        hits, routed = pipeline.stats["circuit_hits"], pipeline.stats["routed"]
+        print(f"[circuit cache: {hits} hits, {routed} routed]", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # batch
 # ----------------------------------------------------------------------
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -218,6 +274,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         else:
             print(f"cache root:  {stats['root']}")
             print(f"mappings:    {stats['n_mappings']}")
+            print(f"circuits:    {stats['n_circuits']}")
             print(f"total bytes: {stats['total_bytes']}")
         return 0
     if args.cache_command == "list":
@@ -244,7 +301,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     # clear
     n = store.clear()
-    print(f"removed {n} cached mappings from {store.root}")
+    print(f"removed {n} cached artifacts from {store.root}")
     return 0
 
 
@@ -304,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--show-strings", action="store_true")
     _add_cache_args(p_map, opt_in=True)
     p_map.set_defaults(func=_cmd_map)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="route a Trotter step onto hardware architectures (Table IV)",
+    )
+    p_compile.add_argument("case", help="e.g. H2_sto3g, hubbard:2x3")
+    p_compile.add_argument("--arch", default="all", metavar="NAME",
+                           help="architecture (manhattan, montreal, sycamore, "
+                                "ionq_forte) or 'all' (default)")
+    p_compile.add_argument("--mappings", default="jw,bk,btt,hatt", metavar="K1,K2",
+                           help=f"comma-separated kinds from {','.join(MAPPING_KINDS)}")
+    p_compile.add_argument("--order", choices=("mutual", "lexicographic"),
+                           default="mutual",
+                           help="Pauli-term ordering pass (mutual-support "
+                                "aligned ladders cut CNOTs; default)")
+    p_compile.add_argument("--lookahead", type=int, default=None,
+                           metavar="N", help="router lookahead horizon "
+                           "(default: the router's deep-window default)")
+    p_compile.add_argument("--router-backend", choices=("vector", "scalar"),
+                           default="vector",
+                           help="routing engine (bit-identical output; "
+                                "'vector' is the batched-kernel engine)")
+    p_compile.add_argument("--hatt-backend", choices=HATT_BACKENDS,
+                           default="vector")
+    p_compile.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of a table")
+    _add_cache_args(p_compile, opt_in=True)
+    p_compile.set_defaults(func=_cmd_compile)
 
     p_batch = sub.add_parser(
         "batch",

@@ -1,0 +1,35 @@
+"""Hardware-aware Trotter compilation pipeline (paper §V-B3, Table IV).
+
+The paper's end-to-end claim is that HATT's lower Pauli weight survives
+compilation to real hardware: fewer CNOTs and lower depth after routing onto
+heavy-hex (Manhattan/Montreal), Sycamore and all-to-all (IonQ Forte)
+coupling graphs.  This package chains the existing layers into that
+experiment:
+
+    Hamiltonian → mapping (service-cached) → Trotter synthesis
+    (mutual-support ladders) → peephole → SABRE-lite routing
+    (vectorized) → {CX, U3} re-expansion → routed metrics
+
+and memoizes the routed metrics in the compilation cache's ``circuits/``
+namespace, so repeated sweeps are cache hits.
+"""
+
+from .pipeline import (
+    ARCHITECTURES,
+    CIRCUIT_SCHEMA,
+    CompilationPipeline,
+    CompileOptions,
+    RoutedMetrics,
+    SweepReport,
+    circuit_fingerprint,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "CIRCUIT_SCHEMA",
+    "CompilationPipeline",
+    "CompileOptions",
+    "RoutedMetrics",
+    "SweepReport",
+    "circuit_fingerprint",
+]

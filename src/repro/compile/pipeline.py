@@ -1,0 +1,371 @@
+"""End-to-end hardware compilation: Hamiltonian × mapping × architecture.
+
+``CompilationPipeline`` produces routed-circuit metrics (CNOT count, SWAP
+count, depth) for any mapping kind on any of the paper's four target
+architectures, reproducing a Table IV analogue.  Three layers of reuse keep
+full sweeps fast:
+
+* mappings come from the PR-4 :class:`~repro.service.MappingService`
+  (memory LRU → disk → compile) when a service is attached;
+* each architecture's coupling graph is instantiated once per pipeline, so
+  the all-pairs distance matrix and adjacency tables cached on the graph by
+  :mod:`repro.circuits.routing` are shared across the whole sweep;
+* routed metrics are content-addressed artifacts in the store's
+  ``circuits/`` namespace, keyed by mapping fingerprint × architecture ×
+  compile options — a repeated sweep never re-routes.
+
+The router backend is deliberately **excluded** from the cache key: the
+vector and scalar engines are bit-identical (enforced by the property suite
+and the Table IV bench), so they must hit the same artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from ..analysis.tables import format_table
+from ..circuits import architecture, route_circuit, to_cx_u3, trotter_circuit
+from ..circuits.evolution import TERM_ORDERS
+from ..circuits.routing import DEFAULT_LOOKAHEAD, ROUTER_BACKENDS
+from ..fermion import FermionOperator, MajoranaOperator
+from ..service import (
+    MappingSpec,
+    compile_mapping,
+    fingerprint_operator,
+    fingerprint_request,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "CIRCUIT_SCHEMA",
+    "CompileOptions",
+    "RoutedMetrics",
+    "SweepReport",
+    "CompilationPipeline",
+    "circuit_fingerprint",
+]
+
+#: The paper's Table IV targets, in display order.
+ARCHITECTURES = ("manhattan", "montreal", "sycamore", "ionq_forte")
+
+#: Default mapping kinds for a Table IV sweep, in display order.
+DEFAULT_KINDS = ("jw", "bk", "btt", "hatt")
+
+#: Bump when the routed-metrics artifact layout changes (old cache entries
+#: become unreachable rather than silently wrong).
+CIRCUIT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Synthesis + routing configuration (cache-key material except for the
+    router backend, which selects between bit-identical engines)."""
+
+    term_order: str = "mutual"
+    lookahead: int = DEFAULT_LOOKAHEAD
+    trotter_time: float = 1.0
+    trotter_steps: int = 1
+    suzuki_order: int = 1
+    router_backend: str = "vector"
+
+    def __post_init__(self):
+        if self.term_order not in TERM_ORDERS:
+            raise ValueError(
+                f"unknown term order {self.term_order!r}; expected one of {TERM_ORDERS}"
+            )
+        if self.router_backend not in ROUTER_BACKENDS:
+            raise ValueError(
+                f"unknown router backend {self.router_backend!r}; "
+                f"expected one of {ROUTER_BACKENDS}"
+            )
+
+    def cache_payload(self) -> dict:
+        """The fingerprint-relevant half of the options."""
+        payload = asdict(self)
+        payload.pop("router_backend")  # bit-identical engines share artifacts
+        payload["trotter_time"] = repr(self.trotter_time)
+        return payload
+
+
+def circuit_fingerprint(
+    operator_fingerprint: str,
+    mapping_fingerprint: str,
+    arch: str,
+    options: CompileOptions,
+) -> str:
+    """Content hash of one routed-circuit request.
+
+    The operator fingerprint must be included separately: static mapping
+    kinds (jw/bk/btt/parity) are deliberately keyed on ``(kind, n_modes)``
+    alone at the mapping layer, but the routed circuit is synthesized from
+    ``mapping.map(hamiltonian)`` — two same-width Hamiltonians must never
+    share a circuit artifact.
+    """
+    blob = json.dumps(
+        {
+            "circuit_schema": CIRCUIT_SCHEMA,
+            "operator": operator_fingerprint,
+            "mapping": mapping_fingerprint,
+            "architecture": arch,
+            "options": options.cache_payload(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RoutedMetrics:
+    """Routed-circuit metrics of one (Hamiltonian, mapping, architecture)."""
+
+    kind: str
+    mapping: str
+    architecture: str
+    n_modes: int
+    n_qubits: int
+    n_physical: int
+    pauli_weight: int
+    logical_cx: int
+    logical_depth: int
+    routed_cx: int
+    routed_swaps: int
+    routed_depth: int
+    routed_u3: int
+    fingerprint: str = ""
+    #: ``"computed"`` | ``"cache"`` — not part of the stored artifact.
+    source: str = field(default="computed", compare=False)
+
+    _PAYLOAD_KEYS = (
+        "kind",
+        "mapping",
+        "architecture",
+        "n_modes",
+        "n_qubits",
+        "n_physical",
+        "pauli_weight",
+        "logical_cx",
+        "logical_depth",
+        "routed_cx",
+        "routed_swaps",
+        "routed_depth",
+        "routed_u3",
+        "fingerprint",
+    )
+
+    def to_dict(self) -> dict:
+        out = {key: getattr(self, key) for key in self._PAYLOAD_KEYS}
+        out["source"] = self.source
+        return out
+
+    def artifact(self) -> dict:
+        """The stored document (source is per-request, not content)."""
+        doc = {key: getattr(self, key) for key in self._PAYLOAD_KEYS}
+        doc["circuit_schema"] = CIRCUIT_SCHEMA
+        return doc
+
+    @classmethod
+    def from_artifact(cls, doc: dict) -> "RoutedMetrics":
+        if doc.get("circuit_schema") != CIRCUIT_SCHEMA:
+            raise ValueError(f"unsupported circuit schema {doc.get('circuit_schema')!r}")
+        return cls(**{key: doc[key] for key in cls._PAYLOAD_KEYS}, source="cache")
+
+    def row(self) -> list:
+        return [
+            self.architecture,
+            self.mapping,
+            self.pauli_weight,
+            self.logical_cx,
+            self.routed_cx,
+            self.routed_swaps,
+            self.routed_depth,
+        ]
+
+
+@dataclass
+class SweepReport:
+    """All (kind × architecture) metrics of one Hamiltonian sweep."""
+
+    case: str
+    n_modes: int
+    options: CompileOptions
+    #: ``metrics[arch][kind]`` in sweep order.
+    metrics: dict[str, dict[str, RoutedMetrics]]
+
+    def rows(self) -> list[list]:
+        return [m.row() for per_arch in self.metrics.values() for m in per_arch.values()]
+
+    def table(self) -> str:
+        headers = [
+            "architecture",
+            "mapping",
+            "weight",
+            "logical CX",
+            "routed CX",
+            "SWAPs",
+            "depth",
+        ]
+        return format_table(
+            f"{self.case} ({self.n_modes} modes) — routed single Trotter step "
+            f"(order={self.options.term_order}, lookahead={self.options.lookahead})",
+            headers,
+            self.rows(),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "n_modes": self.n_modes,
+            "options": asdict(self.options),
+            "metrics": {
+                arch: {kind: m.to_dict() for kind, m in per_arch.items()}
+                for arch, per_arch in self.metrics.items()
+            },
+        }
+
+
+class CompilationPipeline:
+    """Compile Hamiltonians onto hardware architectures, with caching.
+
+    Parameters
+    ----------
+    service:
+        A :class:`repro.service.MappingService`; when given, mappings come
+        from its two-tier cache and routed metrics are persisted in its
+        store's ``circuits/`` namespace.  ``None`` → compile everything
+        fresh, keep nothing.
+    options:
+        Synthesis/routing configuration shared by every compile.
+    hatt_backend:
+        HATT construction engine (identical output; forwarded to the
+        mapping compile).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        options: CompileOptions | None = None,
+        hatt_backend: str = "vector",
+    ):
+        self.service = service
+        self.options = options if options is not None else CompileOptions()
+        self.hatt_backend = hatt_backend
+        self._graphs: dict[str, object] = {}
+        self.stats = {"routed": 0, "circuit_hits": 0}
+
+    # ------------------------------------------------------------------
+    def graph(self, arch: str):
+        """The architecture's coupling graph, shared across the pipeline so
+        routing tables cached on it (distance matrix, adjacency) are reused."""
+        g = self._graphs.get(arch)
+        if g is None:
+            g = self._graphs[arch] = architecture(arch)
+        return g
+
+    def _mapping(self, hamiltonian, spec: MappingSpec):
+        if self.service is not None:
+            result = self.service.get_or_compile(hamiltonian, spec)
+            return result.mapping, result.fingerprint
+        return (
+            compile_mapping(hamiltonian, spec),
+            fingerprint_request(hamiltonian, spec),
+        )
+
+    # ------------------------------------------------------------------
+    def compile_one(
+        self,
+        hamiltonian: FermionOperator | MajoranaOperator,
+        kind: str,
+        arch: str,
+        n_modes: int | None = None,
+    ) -> RoutedMetrics:
+        """Metrics for one mapping kind routed onto one architecture."""
+        spec = MappingSpec(
+            kind=kind,
+            n_modes=n_modes if n_modes is not None else hamiltonian.n_modes,
+            hatt_backend=self.hatt_backend,
+        )
+        mapping, mapping_fp = self._mapping(hamiltonian, spec)
+        fp = circuit_fingerprint(
+            fingerprint_operator(hamiltonian), mapping_fp, arch, self.options
+        )
+        store = getattr(self.service, "store", None)
+        if store is not None:
+            doc = store.get_circuit_report(fp)
+            if doc is not None:
+                try:
+                    metrics = RoutedMetrics.from_artifact(doc)
+                except (KeyError, TypeError, ValueError):
+                    metrics = None  # schema drift/corruption: recompute
+                if metrics is not None:
+                    self.stats["circuit_hits"] += 1
+                    return metrics
+
+        opts = self.options
+        hq = mapping.map(hamiltonian)
+        table, _ = hq.to_table()
+        pauli_weight = int(table.weights().sum())
+        logical = to_cx_u3(
+            trotter_circuit(
+                hq,
+                time=opts.trotter_time,
+                steps=opts.trotter_steps,
+                order=opts.term_order,
+                suzuki_order=opts.suzuki_order,
+            )
+        )
+        graph = self.graph(arch)
+        routed = route_circuit(
+            logical, graph, lookahead=opts.lookahead, backend=opts.router_backend
+        )
+        final = to_cx_u3(routed.circuit)
+        metrics = RoutedMetrics(
+            kind=kind,
+            mapping=mapping.name,
+            architecture=arch,
+            n_modes=spec.n_modes,
+            n_qubits=hq.n,
+            n_physical=graph.number_of_nodes(),
+            pauli_weight=pauli_weight,
+            logical_cx=logical.cx_count,
+            logical_depth=logical.depth(),
+            routed_cx=final.cx_count,
+            routed_swaps=routed.swap_count,
+            routed_depth=final.depth(),
+            routed_u3=final.u3_count,
+            fingerprint=fp,
+        )
+        self.stats["routed"] += 1
+        if store is not None:
+            store.put_circuit_report(fp, metrics.artifact())
+        return metrics
+
+    def sweep(
+        self,
+        hamiltonian: FermionOperator | MajoranaOperator,
+        kinds: tuple[str, ...] = DEFAULT_KINDS,
+        architectures: tuple[str, ...] = ARCHITECTURES,
+        case: str = "?",
+        n_modes: int | None = None,
+    ) -> SweepReport:
+        """Table IV analogue: every mapping kind on every architecture."""
+        n = n_modes if n_modes is not None else hamiltonian.n_modes
+        metrics: dict[str, dict[str, RoutedMetrics]] = {}
+        for arch in architectures:
+            metrics[arch] = {
+                kind: self.compile_one(hamiltonian, kind, arch, n_modes=n)
+                for kind in kinds
+            }
+        return SweepReport(case=case, n_modes=n, options=self.options, metrics=metrics)
+
+    def with_options(self, **overrides) -> "CompilationPipeline":
+        """A pipeline sharing this one's service/graphs with tweaked options."""
+        clone = CompilationPipeline(
+            service=self.service,
+            options=replace(self.options, **overrides),
+            hatt_backend=self.hatt_backend,
+        )
+        clone._graphs = self._graphs
+        return clone

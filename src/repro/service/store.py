@@ -5,10 +5,14 @@ no single directory grows unbounded)::
 
     <root>/mappings/v1/<fp[:2]>/<fp>/mapping.json  # schema-v2 mapping + provenance
     <root>/mappings/v1/<fp[:2]>/<fp>/report.json   # optional evaluation report
+    <root>/circuits/v1/<fp[:2]>/<fp>/metrics.json  # routed-circuit metrics
 
 The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hatt``.  The
 ``mappings/`` namespace keeps the store disjoint from the chemistry integral
-cache (``<root>/chem/``), which honors the same environment variable.
+cache (``<root>/chem/``), which honors the same environment variable; the
+``circuits/`` namespace holds the hardware-compilation pipeline's artifacts
+(keyed by mapping fingerprint × architecture × compile options — see
+:mod:`repro.compile.pipeline`).
 
 Durability rules:
 
@@ -40,6 +44,7 @@ _LAYOUT = "v1"
 
 _MAPPING_DOC = "mapping.json"
 _REPORT_DOC = "report.json"
+_CIRCUIT_DOC = "metrics.json"
 
 #: Exceptions that mean "this document's *content* is unusable" — JSON syntax
 #: errors, missing/mistyped keys, inconsistent mapping content (io.py
@@ -62,15 +67,25 @@ class ArtifactStore:
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
         self._base = self.root / "mappings" / _LAYOUT
+        self._circuit_base = self.root / "circuits" / _LAYOUT
         self._corrupt_dropped = 0
 
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
-    def _entry_dir(self, fingerprint: str) -> Path:
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> str:
         if len(fingerprint) < 8 or not all(c in "0123456789abcdef" for c in fingerprint):
             raise ValueError(f"malformed fingerprint {fingerprint!r}")
-        return self._base / fingerprint[:2] / fingerprint
+        return fingerprint
+
+    def _entry_dir(self, fingerprint: str) -> Path:
+        fp = self._check_fingerprint(fingerprint)
+        return self._base / fp[:2] / fp
+
+    def _circuit_dir(self, fingerprint: str) -> Path:
+        fp = self._check_fingerprint(fingerprint)
+        return self._circuit_base / fp[:2] / fp
 
     def mapping_path(self, fingerprint: str) -> Path:
         return self._entry_dir(fingerprint) / _MAPPING_DOC
@@ -156,6 +171,46 @@ class ArtifactStore:
         return self._read_doc(self.report_path(fingerprint))
 
     # ------------------------------------------------------------------
+    # Routed-circuit metrics (compilation-pipeline artifacts)
+    # ------------------------------------------------------------------
+    def circuit_path(self, fingerprint: str) -> Path:
+        return self._circuit_dir(fingerprint) / _CIRCUIT_DOC
+
+    def put_circuit_report(self, fingerprint: str, report: dict) -> Path:
+        path = self.circuit_path(fingerprint)
+        self._write_atomic(path, report)
+        return path
+
+    def get_circuit_report(self, fingerprint: str) -> dict | None:
+        return self._read_doc(self.circuit_path(fingerprint))
+
+    def circuit_fingerprints(self) -> list[str]:
+        """All fingerprints with a routed-circuit document, sorted."""
+        if not self._circuit_base.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for shard in self._circuit_base.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if (entry / _CIRCUIT_DOC).is_file()
+        )
+
+    def remove_circuit(self, fingerprint: str) -> bool:
+        entry = self._circuit_dir(fingerprint)
+        existed = False
+        try:
+            (entry / _CIRCUIT_DOC).unlink()
+            existed = True
+        except OSError:
+            pass
+        try:
+            entry.rmdir()
+        except OSError:
+            pass
+        return existed
+
+    # ------------------------------------------------------------------
     # Inventory
     # ------------------------------------------------------------------
     def contains(self, fingerprint: str) -> bool:
@@ -197,15 +252,20 @@ class ArtifactStore:
         return existed
 
     def clear(self) -> int:
-        """Remove every entry; returns the number of mappings dropped."""
+        """Remove every entry (mappings *and* circuit metrics); returns the
+        number of artifacts dropped."""
         n = 0
         for fp in self.fingerprints():
             if self.remove(fp):
+                n += 1
+        for fp in self.circuit_fingerprints():
+            if self.remove_circuit(fp):
                 n += 1
         return n
 
     def stats(self) -> dict:
         fps = self.fingerprints()
+        circuit_fps = self.circuit_fingerprints()
         total = 0
         for fp in fps:
             entry = self._entry_dir(fp)
@@ -214,9 +274,15 @@ class ArtifactStore:
                     total += (entry / doc).stat().st_size
                 except OSError:
                     pass
+        for fp in circuit_fps:
+            try:
+                total += self.circuit_path(fp).stat().st_size
+            except OSError:
+                pass
         return {
             "root": str(self.root),
             "n_mappings": len(fps),
+            "n_circuits": len(circuit_fps),
             "total_bytes": total,
             "corrupt_dropped": self._corrupt_dropped,
         }

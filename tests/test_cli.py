@@ -194,3 +194,66 @@ class TestParser:
     def test_invalid_choices_rejected(self, argv):
         with pytest.raises(SystemExit):
             main(argv)
+
+
+class TestCompile:
+    def test_table_output(self, capsys):
+        assert main(["compile", "H2_sto3g", "--arch", "montreal"]) == 0
+        out = capsys.readouterr().out
+        assert "routed single Trotter step" in out
+        for kind in ("JW", "BK", "BTT", "HATT"):
+            assert kind in out
+
+    def test_json_emits_routed_metrics_per_kind(self, capsys):
+        data = run_json(capsys, ["compile", "H2_sto3g", "--arch", "montreal",
+                                 "--json"])
+        assert data["case"] == "H2_sto3g" and data["n_modes"] == 4
+        per_kind = data["metrics"]["montreal"]
+        assert set(per_kind) == {"jw", "bk", "btt", "hatt"}
+        for kind, m in per_kind.items():
+            assert m["routed_cx"] > 0
+            assert m["routed_swaps"] >= 0
+            assert m["routed_depth"] > 0
+
+    def test_all_architectures(self, capsys):
+        data = run_json(capsys, ["compile", "H2_sto3g", "--json",
+                                 "--mappings", "jw"])
+        assert set(data["metrics"]) == {"manhattan", "montreal", "sycamore",
+                                        "ionq_forte"}
+        assert data["metrics"]["ionq_forte"]["jw"]["routed_swaps"] == 0
+
+    def test_cache_warm_second_run(self, tmp_path, capsys):
+        argv = ["compile", "H2_sto3g", "--arch", "sycamore", "--json",
+                "--mappings", "jw,hatt", "--cache-dir", str(tmp_path / "c")]
+        cold = run_json(capsys, argv)
+        assert cold["pipeline"] == {"circuit_hits": 0, "routed": 2}
+        warm = run_json(capsys, argv)
+        assert warm["pipeline"] == {"circuit_hits": 2, "routed": 0}
+        assert warm["cache"]["store"]["n_circuits"] == 2
+        def strip(d):
+            return {a: {k: {x: v for x, v in m.items() if x != "source"}
+                        for k, m in per.items()} for a, per in d.items()}
+
+        assert strip(warm["metrics"]) == strip(cold["metrics"])
+
+    def test_bad_arch_rejected(self, capsys):
+        assert main(["compile", "H2_sto3g", "--arch", "osprey"]) == 2
+
+    def test_bad_mappings_rejected(self, capsys):
+        assert main(["compile", "H2_sto3g", "--mappings", "qiskit"]) == 2
+
+    def test_scalar_router_matches_vector(self, capsys):
+        base = ["compile", "H2_sto3g", "--arch", "montreal", "--json",
+                "--mappings", "jw"]
+        vec = run_json(capsys, base + ["--router-backend", "vector"])
+        sca = run_json(capsys, base + ["--router-backend", "scalar"])
+        assert vec["metrics"] == sca["metrics"]
+
+    def test_lexicographic_order_flag(self, capsys):
+        mut = run_json(capsys, ["compile", "LiH_sto3g_frz", "--arch",
+                                "ionq_forte", "--json", "--mappings", "jw"])
+        lex = run_json(capsys, ["compile", "LiH_sto3g_frz", "--arch",
+                                "ionq_forte", "--json", "--mappings", "jw",
+                                "--order", "lexicographic"])
+        assert mut["metrics"]["ionq_forte"]["jw"]["routed_cx"] < \
+            lex["metrics"]["ionq_forte"]["jw"]["routed_cx"]

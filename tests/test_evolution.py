@@ -233,3 +233,118 @@ class TestZYZ:
             u = gate_matrix(name)
             rebuilt = gate_matrix("u3", zyz_angles(u))
             assert phase_free_allclose(rebuilt, u)
+
+
+class TestMutualSupportOrdering:
+    def test_chain_parameter_same_unitary(self):
+        """Any parity-chain order yields the same term unitary."""
+        p = PauliString.from_label("XYZZ")
+        ref = evolution_term_circuit(p, 0.37).to_matrix()
+        for chain in ([0, 1, 2, 3], [2, 0, 3, 1], [3, 1, 0, 2]):
+            alt = evolution_term_circuit(p, 0.37, chain=chain).to_matrix()
+            assert phase_free_allclose(alt, ref)
+
+    def test_chain_must_cover_support(self):
+        p = PauliString.from_label("XYZ")
+        with pytest.raises(ValueError):
+            evolution_term_circuit(p, 0.1, chain=[0, 1])
+        with pytest.raises(ValueError):
+            evolution_term_circuit(p, 0.1, chain=[0, 1, 1])
+
+    def test_mutual_support_chain_aligns_shared_interior(self):
+        """JW hopping partners share their Z-interior but never their label
+        prefix; the mutual chain starts with that interior."""
+        from repro.circuits import mutual_support_chain
+
+        a = PauliString.from_label("XZZX")
+        b = PauliString.from_label("YZZY")
+        assert mutual_support_chain(None, None, a) == [3, 2, 1, 0]
+        # With the one-term lookahead the shared Z-interior is rooted at the
+        # chain head, where the next junction can cancel it ...
+        chain_a = mutual_support_chain(None, None, a, next_string=b)
+        assert chain_a == [2, 1, 3, 0]
+        # ... and the follower's chain starts with that mutual prefix.
+        chain_b = mutual_support_chain(chain_a, a, b)
+        assert chain_b[:2] == [2, 1]
+
+    def test_mutual_order_same_trotter_unitary(self):
+        """Reordering ladders (not terms) leaves the Trotter unitary fixed."""
+        h = QubitOperator.from_terms(
+            [
+                (PauliString.from_label("XZZX"), 0.3),
+                (PauliString.from_label("YZZY"), 0.3),
+                (PauliString.from_label("ZZII"), -0.7),
+                (PauliString.from_label("IZIZ"), 0.2),
+            ]
+        )
+        lex = trotter_circuit(h, order="lexicographic").to_matrix()
+        mutual = trotter_circuit(h, order="mutual").to_matrix()
+        assert phase_free_allclose(mutual, lex)
+
+    def test_mutual_order_cuts_cx_on_hopping_pairs(self):
+        h = QubitOperator.from_terms(
+            [
+                (PauliString.from_label("XZZX"), 0.3),
+                (PauliString.from_label("YZZY"), 0.3),
+            ]
+        )
+        lex = to_cx_u3(trotter_circuit(h, order="lexicographic")).cx_count
+        mutual = to_cx_u3(trotter_circuit(h, order="mutual")).cx_count
+        assert mutual < lex
+
+    def test_mutual_never_worse_on_benchmarks(self):
+        from repro.mappings import bravyi_kitaev, jordan_wigner
+        from repro.models import load_case
+
+        strict_win = False
+        for case in ("H2_sto3g", "hubbard:1x2", "hubbard:2x2"):
+            ham = load_case(case)
+            for mapping in (jordan_wigner(ham.n_modes), bravyi_kitaev(ham.n_modes)):
+                hq = mapping.map(ham)
+                lex = to_cx_u3(trotter_circuit(hq)).cx_count
+                mutual = to_cx_u3(trotter_circuit(hq, order="mutual")).cx_count
+                assert mutual <= lex, (case, mapping.name)
+                strict_win |= mutual < lex
+        assert strict_win  # the pass must measurably cut CNOTs somewhere
+
+    def test_unknown_order_rejected(self):
+        h = QubitOperator.from_terms([(PauliString.from_label("ZZ"), 1.0)])
+        with pytest.raises(ValueError):
+            trotter_circuit(h, order="random")
+
+    def test_suzuki2_mutual_matches_lex_unitary(self):
+        h = QubitOperator.from_terms(
+            [
+                (PauliString.from_label("XZX"), 0.4),
+                (PauliString.from_label("YZY"), 0.4),
+                (PauliString.from_label("ZZI"), -0.2),
+            ]
+        )
+        lex = trotter_circuit(h, suzuki_order=2, order="lexicographic").to_matrix()
+        mutual = trotter_circuit(h, suzuki_order=2, order="mutual").to_matrix()
+        assert phase_free_allclose(mutual, lex)
+
+
+class TestSwapOrientation:
+    def test_swap_next_to_cx_cancels(self):
+        """A SWAP adjacent to a CX on the same edge costs 2 CX, not 4."""
+        for first, second in ((("cx", (0, 1)), ("swap", (0, 1))),
+                              (("cx", (1, 0)), ("swap", (0, 1))),
+                              (("swap", (0, 1)), ("cx", (0, 1))),
+                              (("swap", (0, 1)), ("cx", (1, 0)))):
+            c = Circuit(2)
+            c.add(first[0], *first[1])
+            c.add(second[0], *second[1])
+            out = to_cx_u3(c)
+            assert out.cx_count == 2, (first, second, out.gates)
+
+    def test_lone_swap_still_three_cx(self):
+        c = Circuit(2)
+        c.add("swap", 0, 1)
+        assert to_cx_u3(c).cx_count == 3
+
+    def test_orientation_preserves_unitary(self):
+        c = Circuit(3)
+        c.add("cx", 0, 1).add("swap", 1, 0).add("h", 2).add("swap", 1, 2)
+        c.add("cx", 2, 1)
+        assert phase_free_allclose(to_cx_u3(c).to_matrix(), c.to_matrix())

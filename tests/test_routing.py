@@ -1,8 +1,9 @@
 """Tests for architectures and the SWAP-insertion router."""
 
 import networkx as nx
-import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuits import (
     Circuit,
@@ -138,3 +139,185 @@ class TestRouting:
         r_near = route_circuit(near, line)
         r_far = route_circuit(far, line)
         assert r_far.circuit.cx_count >= r_near.circuit.cx_count
+
+
+class TestDistanceMatrix:
+    def test_cached_on_graph(self):
+        from repro.circuits import distance_matrix
+
+        g = montreal()
+        d1 = distance_matrix(g)
+        d2 = distance_matrix(g)
+        assert d1 is d2  # second call is the cached object
+
+    def test_matches_networkx(self):
+        from repro.circuits import distance_matrix
+
+        g = sycamore()
+        d = distance_matrix(g)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for u in g.nodes:
+            for v in g.nodes:
+                assert d[u, v] == lengths[u][v]
+
+    def test_disconnected_rejected(self):
+        from repro.circuits import distance_matrix
+
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            distance_matrix(g)
+
+    def test_non_contiguous_nodes_rejected(self):
+        from repro.circuits import distance_matrix
+
+        g = nx.Graph()
+        g.add_edge(10, 11)
+        with pytest.raises(ValueError):
+            distance_matrix(g)
+
+
+class TestDeterminism:
+    def test_route_twice_identical(self):
+        """Regression: SWAP ties used to be broken by dict iteration order."""
+        from repro.circuits import ROUTER_BACKENDS
+
+        circ = long_range_circuit(10)
+        for arch in ("montreal", "sycamore"):
+            for backend in ROUTER_BACKENDS:
+                g1, g2 = architecture(arch), architecture(arch)
+                r1 = route_circuit(circ, g1, backend=backend)
+                r2 = route_circuit(circ, g2, backend=backend)
+                assert r1.circuit.gates == r2.circuit.gates, (arch, backend)
+                assert r1.initial_layout == r2.initial_layout
+                assert r1.final_layout == r2.final_layout
+
+    def test_layout_deterministic(self):
+        circ = long_range_circuit(8)
+        layouts = {tuple(sorted(initial_layout(circ, montreal()).items()))
+                   for _ in range(3)}
+        assert len(layouts) == 1
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("arch", ["manhattan", "montreal", "sycamore", "ionq_forte"])
+    @pytest.mark.parametrize("lookahead", [0, 1, 4, 17, 256])
+    def test_vector_matches_scalar(self, arch, lookahead):
+        g = architecture(arch)
+        circ = long_range_circuit(12)
+        vec = route_circuit(circ, g, lookahead=lookahead, backend="vector")
+        sca = route_circuit(circ, g, lookahead=lookahead, backend="scalar")
+        assert vec.circuit.gates == sca.circuit.gates
+        assert vec.initial_layout == sca.initial_layout
+        assert vec.final_layout == sca.final_layout
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            route_circuit(ghz_circuit(3), montreal(), backend="cuda")
+
+    def test_negative_lookahead_rejected(self):
+        """Regression: a negative horizon used to corrupt the vector
+        engine's window bookkeeping and break cross-engine bit-identity."""
+        for backend in ("vector", "scalar"):
+            with pytest.raises(ValueError):
+                route_circuit(ghz_circuit(3), montreal(), lookahead=-1,
+                              backend=backend)
+
+
+def _random_circuit(draw_ints, n, n_gates):
+    """Deterministic pseudo-random circuit from a list of ints."""
+    c = Circuit(n)
+    it = iter(draw_ints)
+    one_q = ["h", "s", "t", "x", "rz"]
+    for _ in range(n_gates):
+        kind = next(it) % 3
+        if kind < 2 and n >= 2:
+            a = next(it) % n
+            b = next(it) % (n - 1)
+            if b >= a:
+                b += 1
+            c.add("cx", a, b)
+        else:
+            name = one_q[next(it) % len(one_q)]
+            q = next(it) % n
+            params = (0.1 + (next(it) % 7) * 0.3,) if name == "rz" else ()
+            c.add(name, q, params=params)
+    return c
+
+
+class TestRoutedSemantics:
+    """Routed circuits are permutation-equivalent to their logical circuits."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(0, 3),
+        st.lists(st.integers(0, 10**6), min_size=40, max_size=40),
+        st.integers(3, 5),
+    )
+    def test_unitary_preserved_modulo_layout(self, arch_idx, ints, n):
+        from repro.sim import Statevector
+
+        arch = ["manhattan", "montreal", "sycamore", "ionq_forte"][arch_idx]
+        g = architecture(arch)
+        circuit = _random_circuit(ints, n, 12)
+        routed = route_circuit(circuit, g)
+
+        # Compact the routed circuit onto the physical qubits it touches
+        # (plus every logical's initial slot), so dense simulation stays
+        # tractable on the 27..65-qubit architectures.
+        touched = sorted(
+            {q for gate in routed.circuit.gates for q in gate.qubits}
+            | set(routed.initial_layout.values())
+        )
+        idx = {p: i for i, p in enumerate(touched)}
+        compact = Circuit(len(touched))
+        for gate in routed.circuit.gates:
+            compact.add(gate.name, *[idx[q] for q in gate.qubits], params=gate.params)
+
+        # Check the action on every logical basis state: prepare the input
+        # at the initial layout, run, read back through the final layout.
+        for bits in range(1 << n):
+            hw = Statevector(compact.n_qubits)
+            prep = Circuit(compact.n_qubits)
+            for logical in range(n):
+                if (bits >> logical) & 1:
+                    prep.add("x", idx[routed.initial_layout[logical]])
+            hw.apply_circuit(prep).apply_circuit(compact)
+            reference = Statevector(n)
+            lprep = Circuit(n)
+            for logical in range(n):
+                if (bits >> logical) & 1:
+                    lprep.add("x", logical)
+            reference.apply_circuit(lprep).apply_circuit(circuit)
+
+            # Amplitudes must agree (up to global phase) after relabeling
+            # physical indices through the final layout.
+            ratio = None
+            for lbits in range(1 << n):
+                phys_bits = 0
+                for logical in range(n):
+                    if (lbits >> logical) & 1:
+                        phys_bits |= 1 << idx[routed.final_layout[logical]]
+                amp_hw = hw.amplitudes[phys_bits]
+                amp_ref = reference.amplitudes[lbits]
+                assert abs(abs(amp_hw) - abs(amp_ref)) < 1e-9
+                if abs(amp_ref) > 1e-9:
+                    r = amp_hw / amp_ref
+                    if ratio is None:
+                        ratio = r
+                    assert abs(r - ratio) < 1e-8  # single global phase
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(0, 3),
+        st.lists(st.integers(0, 10**6), min_size=60, max_size=60),
+    )
+    def test_all_two_qubit_gates_on_edges(self, arch_idx, ints):
+        arch = ["manhattan", "montreal", "sycamore", "ionq_forte"][arch_idx]
+        g = architecture(arch)
+        circuit = _random_circuit(ints, 6, 18)
+        routed = route_circuit(circuit, g)
+        for gate in routed.circuit.gates:
+            if gate.is_two_qubit:
+                assert g.has_edge(*gate.qubits), (arch, gate)

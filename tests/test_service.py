@@ -440,3 +440,38 @@ class TestPipelineIntegration:
         compare_mappings(h, 8, compile_circuit=False, service=svc)
         stats = svc.stats()
         assert stats["compiles"] == 4 and stats["hits_memory"] == 4
+
+
+class TestCircuitNamespace:
+    def test_roundtrip_and_inventory(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = "ab" * 32
+        store.put_circuit_report(fp, {"circuit_schema": 1, "routed_cx": 7})
+        assert store.get_circuit_report(fp) == {"circuit_schema": 1, "routed_cx": 7}
+        assert store.circuit_fingerprints() == [fp]
+        assert store.fingerprints() == []  # disjoint from the mapping namespace
+
+    def test_corrupt_circuit_doc_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = "cd" * 32
+        store.put_circuit_report(fp, {"routed_cx": 1})
+        store.circuit_path(fp).write_text("{ torn")
+        assert store.get_circuit_report(fp) is None
+        assert not store.circuit_path(fp).exists()  # quarantined
+        assert store.stats()["corrupt_dropped"] == 1
+
+    def test_stats_and_clear_cover_circuits(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put_circuit_report("ef" * 32, {"routed_cx": 2})
+        stats = store.stats()
+        assert stats["n_circuits"] == 1 and stats["total_bytes"] > 0
+        assert store.clear() == 1
+        assert store.circuit_fingerprints() == []
+
+    def test_remove_circuit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = "0a" * 32
+        assert not store.remove_circuit(fp)
+        store.put_circuit_report(fp, {"x": 1})
+        assert store.remove_circuit(fp)
+        assert store.get_circuit_report(fp) is None
