@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backends import BackendConfig
 from ..circuits import grouped_evolution_circuit, to_cx_u3, trotter_circuit
 from ..fermion import FermionOperator, MajoranaOperator
 from ..hatt import hatt_mapping
@@ -145,11 +146,14 @@ def compare_mappings(
     hatt_backend: str = "vector",
     service: "object | None" = None,
     term_order: str = "lexicographic",
+    backends: BackendConfig | None = None,
 ) -> dict[str, MappingReport]:
     """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian.
 
     ``hatt_backend`` selects the HATT construction engine (``"vector"`` /
     ``"scalar"``); both produce identical mappings, only compile time differs.
+    ``backends`` (a :class:`repro.backends.BackendConfig`) is the unified
+    form of the same choice and wins over ``hatt_backend`` when given.
 
     ``service`` (a :class:`repro.service.MappingService`) routes every
     compile through the compilation cache: warm fingerprints load stored
@@ -157,6 +161,8 @@ def compare_mappings(
     the next caller.  Reports are identical either way (cached mappings are
     bit-identical to fresh compiles).
     """
+    if backends is not None:
+        hatt_backend = backends.hatt
     if service is not None:
         from ..service.fingerprint import MappingSpec
 

@@ -1,0 +1,106 @@
+"""Unified engine selection across the stack (``BackendConfig``).
+
+Three subsystems ship paired engines — a fast vectorized kernel plus a
+bit-identical (or statistically-equivalent) reference — each historically
+selected through its own knob:
+
+* HATT construction: ``backend="vector" | "scalar"``
+  (:mod:`repro.hatt.construction`);
+* circuit routing: ``backend="vector" | "scalar"``
+  (:mod:`repro.circuits.routing`);
+* noisy simulation: ``backend="batched" | "scalar"``
+  (:mod:`repro.sim.noise`).
+
+``BackendConfig`` names all three in one value that plumbs through
+:func:`repro.analysis.pipeline.compare_mappings`,
+:class:`repro.compile.pipeline.CompilationPipeline`, the serve job queue,
+and the CLI's single ``--backend`` flag (the per-subsystem
+``--hatt-backend`` / ``--router-backend`` flags remain as deprecated
+aliases).  Engine choice is never cache-key material — every pair of engines
+produces identical artifacts, enforced by the property suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "BackendConfig",
+    "HATT_BACKENDS",
+    "ROUTER_BACKENDS",
+    "SIM_BACKENDS",
+]
+
+from .circuits.routing import ROUTER_BACKENDS
+from .hatt.construction import BACKENDS as HATT_BACKENDS
+
+#: Trajectory engines of :func:`repro.sim.noisy_expectations` (the module
+#: dispatches on the literal, with no exported tuple of its own).
+SIM_BACKENDS = ("batched", "scalar")
+
+_FIELDS = {
+    "hatt": HATT_BACKENDS,
+    "router": ROUTER_BACKENDS,
+    "sim": SIM_BACKENDS,
+}
+
+#: Bare ``--backend vector|scalar`` shorthand per field (``vector`` means
+#: "the fast engine", which the sim stack calls ``batched``).
+_SHORTHAND = {
+    "vector": {"hatt": "vector", "router": "vector", "sim": "batched"},
+    "scalar": {"hatt": "scalar", "router": "scalar", "sim": "scalar"},
+}
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """One engine choice per subsystem; defaults are the fast kernels."""
+
+    hatt: str = "vector"
+    router: str = "vector"
+    sim: str = "batched"
+
+    def __post_init__(self):
+        for name, allowed in _FIELDS.items():
+            value = getattr(self, name)
+            if value not in allowed:
+                raise ValueError(
+                    f"unknown {name} backend {value!r}; expected one of {allowed}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "BackendConfig":
+        """Parse the CLI's ``--backend`` spec.
+
+        Either a bare shorthand applied to every subsystem (``"vector"`` /
+        ``"scalar"``) or comma-separated ``field=engine`` pairs, e.g.
+        ``"hatt=scalar,router=vector"``; unnamed fields keep their defaults.
+        """
+        text = text.strip()
+        if "=" not in text:
+            if text not in _SHORTHAND:
+                raise ValueError(
+                    f"unknown backend shorthand {text!r}; expected one of "
+                    f"{tuple(_SHORTHAND)} or field=engine pairs "
+                    f"(fields: {tuple(_FIELDS)})"
+                )
+            return cls(**_SHORTHAND[text])
+        values: dict[str, str] = {}
+        for pair in text.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            field, sep, engine = pair.partition("=")
+            field, engine = field.strip(), engine.strip()
+            if not sep or field not in _FIELDS:
+                raise ValueError(
+                    f"bad backend spec element {pair!r}; expected field=engine "
+                    f"with field in {tuple(_FIELDS)}"
+                )
+            values[field] = engine
+        return cls(**values)
+
+    def with_overrides(self, **overrides: str | None) -> "BackendConfig":
+        """A copy with the non-``None`` overrides applied (CLI alias merging)."""
+        given = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **given) if given else self

@@ -10,15 +10,27 @@ Commands
              depth per mapping kind × architecture).
 ``batch``    Compile a suite of cases × mappings through the compilation
              service (fingerprint dedup, process-pool fan-out, shared cache).
-``cache``    Inspect or clear the content-addressed mapping cache.
+``serve``    Run the async compilation-service HTTP API (job queue, request
+             coalescing, LRU-capped caches).
+``cache``    Inspect or clear the content-addressed artifact cache, per
+             namespace (``mappings`` / ``circuits``).
 ``cases``    List the built-in benchmark Hamiltonians.
 
-Caching
--------
-``map``/``compare`` use the compilation cache when ``--cache-dir`` is given
-or ``$REPRO_CACHE_DIR`` is set (opt-in, so ad-hoc runs leave no state
-behind); ``batch`` and ``cache`` default to the standard cache directory
-(``~/.cache/repro-hatt``).  ``--no-cache`` always wins.
+Conventions
+-----------
+* **JSON envelope** — every ``--json`` path emits the same versioned wrapper
+  the HTTP API speaks: ``{"schema": "repro/v1", "command": ..., "result":
+  ...}`` (see :mod:`repro.serve.schema`).
+* **Engines** — ``--backend`` selects every subsystem's engine in one flag
+  (``vector`` / ``scalar`` shorthand, or ``hatt=...,router=...,sim=...``
+  pairs; see :class:`repro.backends.BackendConfig`).  The historical
+  ``--hatt-backend`` / ``--router-backend`` flags still work as deprecated
+  aliases that override the unified value and warn once per run.
+* **Caching** — ``map``/``compare``/``compile`` use the compilation cache
+  when ``--cache-dir`` is given or ``$REPRO_CACHE_DIR`` is set (opt-in, so
+  ad-hoc runs leave no state behind); ``batch``/``serve``/``cache`` default
+  to the standard cache directory (``~/.cache/repro-hatt``).  ``--no-cache``
+  always wins.
 """
 
 from __future__ import annotations
@@ -29,9 +41,12 @@ import os
 import sys
 
 from .analysis import compare_mappings, format_table
+from .backends import BackendConfig
+from .circuits.routing import ROUTER_BACKENDS
 from .hatt.construction import BACKENDS as HATT_BACKENDS
 from .mappings.io import save_mapping
 from .models import load_case
+from .serve.schema import envelope
 from .service import (
     MAPPING_KINDS,
     ArtifactStore,
@@ -40,6 +55,7 @@ from .service import (
     compile_suite,
     default_cache_dir,
 )
+from .service.store import NAMESPACES
 
 __all__ = ["main"]
 
@@ -49,22 +65,87 @@ def _load_case(spec: str):
     return load_case(spec)
 
 
+def _emit_json(command: str, result, **extra) -> None:
+    """Print one versioned envelope — the only JSON emitter in the CLI."""
+    print(json.dumps(envelope(command, result, **extra), indent=2, sort_keys=True))
+
+
 # ----------------------------------------------------------------------
-# Cache plumbing shared by map/compare/batch/cache
+# Shared parent parsers (defined once, inherited by every subcommand)
 # ----------------------------------------------------------------------
-def _add_cache_args(parser: argparse.ArgumentParser, opt_in: bool) -> None:
+_warned_deprecated: set[str] = set()
+
+_ALIAS_FIELD = {"--hatt-backend": "hatt", "--router-backend": "router"}
+
+
+class _DeprecatedBackendAction(argparse.Action):
+    """Store a legacy per-subsystem engine flag, warning once per run."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string not in _warned_deprecated:
+            _warned_deprecated.add(option_string)
+            field = _ALIAS_FIELD.get(option_string, "?")
+            print(
+                f"repro: warning: {option_string} is deprecated; "
+                f"use --backend {field}={values}",
+                file=sys.stderr,
+            )
+        setattr(namespace, self.dest, values)
+
+
+def _json_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--json", action="store_true",
+                   help="emit a versioned JSON envelope "
+                        '({"schema": "repro/v1", ...}) instead of text')
+    return p
+
+
+def _engine_parent(router: bool = False) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--backend", metavar="SPEC", default=None,
+                   help="engine selection for every subsystem: 'vector' (fast "
+                        "kernels, default), 'scalar' (reference kernels), or "
+                        "field=engine pairs like 'hatt=scalar,router=vector' "
+                        "(identical artifacts either way)")
+    p.add_argument("--hatt-backend", choices=HATT_BACKENDS, default=None,
+                   action=_DeprecatedBackendAction,
+                   help="deprecated alias for --backend hatt=ENGINE")
+    if router:
+        p.add_argument("--router-backend", choices=ROUTER_BACKENDS, default=None,
+                       action=_DeprecatedBackendAction,
+                       help="deprecated alias for --backend router=ENGINE")
+    return p
+
+
+def _cache_parent(opt_in: bool, jobs_help: str | None = None) -> argparse.ArgumentParser:
     default_hint = (
         "default: no cache unless $REPRO_CACHE_DIR is set"
         if opt_in
         else f"default: {default_cache_dir()}"
     )
-    parser.add_argument("--cache-dir", metavar="DIR",
-                        help=f"compilation-cache directory ({default_hint})")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="bypass the compilation cache entirely")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="compile with N worker processes (cache-backed; "
-                             "ignored without an enabled cache)")
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help=f"compilation-cache directory ({default_hint})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the compilation cache entirely")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help=jobs_help or "compile with N worker processes "
+                        "(cache-backed; ignored without an enabled cache)")
+    return p
+
+
+def _resolve_backends(args: argparse.Namespace) -> BackendConfig:
+    """Merge ``--backend`` with any deprecated per-subsystem aliases."""
+    base = (
+        BackendConfig.parse(args.backend)
+        if getattr(args, "backend", None)
+        else BackendConfig()
+    )
+    return base.with_overrides(
+        hatt=getattr(args, "hatt_backend", None),
+        router=getattr(args, "router_backend", None),
+    )
 
 
 def _resolve_cache_dir(args: argparse.Namespace, opt_in: bool) -> str | None:
@@ -83,11 +164,11 @@ def _make_service(cache_dir: str | None) -> MappingService | None:
 
 
 def _prewarm(args: argparse.Namespace, cache_dir: str | None,
-             cases: list[str], kinds: list[str]) -> None:
+             cases: list[str], kinds: list[str], hatt_backend: str) -> None:
     """Fan the compiles of an impending serial step across worker processes."""
     if args.jobs > 1 and cache_dir is not None:
         compile_suite(cases, kinds, jobs=args.jobs, cache_dir=cache_dir,
-                      hatt_backend=args.hatt_backend, evaluate=False)
+                      hatt_backend=hatt_backend, evaluate=False)
 
 
 # ----------------------------------------------------------------------
@@ -98,27 +179,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     h = load_case(args.case)
     n = h.n_modes
+    backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
     kinds = list(COMPARE_KINDS.values()) + (["hatt-unopt"] if args.unopt else [])
-    _prewarm(args, cache_dir, [args.case], kinds)
+    _prewarm(args, cache_dir, [args.case], kinds, backends.hatt)
     service = _make_service(cache_dir)
     reports = compare_mappings(
         h,
         n,
         compile_circuit=not args.no_circuit,
         include_unopt=args.unopt,
-        hatt_backend=args.hatt_backend,
         service=service,
+        backends=backends,
     )
     if args.json:
-        payload = {
+        result = {
             "case": args.case,
             "n_modes": n,
             "reports": {name: r.to_dict() for name, r in reports.items()},
         }
         if service is not None:
-            payload["cache"] = service.stats()
-        print(json.dumps(payload, indent=2, sort_keys=True))
+            result["cache"] = service.stats()
+        _emit_json("compare", result)
         return 0
     rows = [r.row() for r in reports.values()]
     print(format_table(
@@ -135,27 +217,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_map(args: argparse.Namespace) -> int:
     h = load_case(args.case)
     n = h.n_modes
-    spec = MappingSpec(kind=args.mapping, n_modes=n, hatt_backend=args.hatt_backend)
+    backends = _resolve_backends(args)
+    spec = MappingSpec(kind=args.mapping, n_modes=n, hatt_backend=backends.hatt)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
     # One task, so --jobs adds no parallelism here, but routing it through
     # the orchestrator keeps the flag honest (and warms the shared cache).
-    _prewarm(args, cache_dir, [args.case], [args.mapping])
+    _prewarm(args, cache_dir, [args.case], [args.mapping], backends.hatt)
     service = _make_service(cache_dir)
+    fingerprint = source = None
     if service is not None:
         result = service.get_or_compile(h, spec)
         mapping = result.mapping
-        cache_note = f" [{result.source}, key {result.fingerprint[:12]}]"
+        fingerprint, source = result.fingerprint, result.source
+        cache_note = f" [{source}, key {fingerprint[:12]}]"
     else:
         from .service import compile_mapping
 
         mapping = compile_mapping(h, spec)
         cache_note = ""
-    weight = mapping.map(h).pauli_weight()
+    weight = int(mapping.map(h).pauli_weight())
+    if args.output:
+        save_mapping(mapping, args.output)
+    if args.json:
+        _emit_json("map", {
+            "case": args.case,
+            "kind": args.mapping,
+            "mapping": mapping.name,
+            "n_modes": n,
+            "n_qubits": mapping.n_qubits,
+            "pauli_weight": weight,
+            "preserves_vacuum": bool(mapping.preserves_vacuum()),
+            "fingerprint": fingerprint,
+            "source": source,
+            "saved_to": args.output,
+        })
+        return 0
     print(f"{mapping.name} mapping for {args.case}: {n} modes, "
           f"Pauli weight {weight}, vacuum preserved: "
           f"{mapping.preserves_vacuum()}{cache_note}")
     if args.output:
-        save_mapping(mapping, args.output)
         print(f"saved to {args.output}")
     if args.show_strings:
         for i, s in enumerate(mapping.strings):
@@ -190,24 +290,25 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         )
         return 2
     h = load_case(args.case)
+    backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
-    _prewarm(args, cache_dir, [args.case], list(kinds))
+    _prewarm(args, cache_dir, [args.case], list(kinds), backends.hatt)
     service = _make_service(cache_dir)
-    opt_kwargs = {"term_order": args.order, "router_backend": args.router_backend}
+    opt_kwargs = {"term_order": args.order}
     if args.lookahead is not None:
         opt_kwargs["lookahead"] = args.lookahead
     pipeline = CompilationPipeline(
         service=service,
         options=CompileOptions(**opt_kwargs),
-        hatt_backend=args.hatt_backend,
+        backends=backends,
     )
     report = pipeline.sweep(h, kinds=kinds, architectures=archs, case=args.case)
     if args.json:
-        payload = report.to_dict()
-        payload["pipeline"] = dict(pipeline.stats)
+        result = report.to_dict()
+        result["pipeline"] = dict(pipeline.stats)
         if service is not None:
-            payload["cache"] = service.stats()
-        print(json.dumps(payload, indent=2, sort_keys=True))
+            result["cache"] = service.stats()
+        _emit_json("compile", result)
         return 0
     print(report.table())
     if service is not None:
@@ -229,6 +330,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=False)
     progress = None
     if not args.json:
@@ -242,12 +344,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=cache_dir,
         use_cache=cache_dir is not None,
-        hatt_backend=args.hatt_backend,
+        hatt_backend=backends.hatt,
         evaluate=not args.no_eval,
         progress=progress,
     )
     content = (
-        json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        json.dumps(envelope("batch", report.to_dict()), indent=2, sort_keys=True)
         if args.json
         else report.table()
     )
@@ -259,49 +361,136 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import EXECUTORS, JobQueue, run_server
+
+    if args.executor not in EXECUTORS:
+        print(
+            f"repro serve: error: unknown --executor {args.executor!r} "
+            f"(choose from {', '.join(EXECUTORS)})",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = _resolve_cache_dir(args, opt_in=False)
+    service_kwargs: dict = {
+        "cache_dir": cache_dir,
+        "use_disk": cache_dir is not None,
+        "max_bytes": args.max_bytes,
+    }
+    if args.memory_capacity is not None:
+        service_kwargs["memory_capacity"] = args.memory_capacity
+    service = MappingService(**service_kwargs)
+    queue = JobQueue(service=service, workers=args.jobs, executor=args.executor)
+
+    def ready(server) -> None:
+        cache_note = cache_dir if cache_dir is not None else "disabled"
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(executor={args.executor}, workers={queue.workers}, "
+            f"cache={cache_note})",
+            file=sys.stderr,
+        )
+
+    try:
+        run_server(queue, host=args.host, port=args.port, ready=ready)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        queue.shutdown()
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
+def _cache_namespaces(args: argparse.Namespace) -> tuple[str, ...]:
+    return NAMESPACES if args.namespace is None else (args.namespace,)
+
+
+def _cache_list_entry(store: ArtifactStore, namespace: str, entry: dict) -> dict:
+    """One inventory row: store accounting + a peek into the document."""
+    fp = entry["fingerprint"]
+    out = {
+        "namespace": namespace,
+        "fingerprint": fp,
+        "bytes": entry["bytes"],
+        "mtime": entry["mtime"],
+    }
+    if namespace == "mappings":
+        prov = store.provenance(fp) or {}
+        out.update(
+            kind=prov.get("kind", "?"),
+            n_modes=prov.get("n_modes", "?"),
+            compile_seconds=prov.get("compile_seconds", "?"),
+            created_at=prov.get("created_at", "?"),
+        )
+    else:
+        doc = store.get_circuit_report(fp) or {}
+        out.update(
+            kind=doc.get("kind", "?"),
+            architecture=doc.get("architecture", "?"),
+            routed_cx=doc.get("routed_cx", "?"),
+        )
+    return out
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache_dir = _resolve_cache_dir(args, opt_in=False)
     if cache_dir is None:
         print("cache disabled (--no-cache)", file=sys.stderr)
         return 2
     store = ArtifactStore(cache_dir)
+    namespaces = _cache_namespaces(args)
     if args.cache_command == "stats":
         stats = store.stats()
+        stats["namespaces"] = {
+            ns: stats["namespaces"][ns] for ns in namespaces
+        }
         if args.json:
-            print(json.dumps(stats, indent=2, sort_keys=True))
-        else:
-            print(f"cache root:  {stats['root']}")
-            print(f"mappings:    {stats['n_mappings']}")
-            print(f"circuits:    {stats['n_circuits']}")
-            print(f"total bytes: {stats['total_bytes']}")
+            _emit_json("cache.stats", stats)
+            return 0
+        print(f"cache root:  {stats['root']}")
+        for ns in namespaces:
+            s = stats["namespaces"][ns]
+            cap = s["max_bytes"] if s["max_bytes"] is not None else "unbounded"
+            print(f"{ns + ':':<12} {s['entries']} entries, {s['bytes']} bytes "
+                  f"(cap: {cap}, evictions: {s['evictions']})")
+        print(f"total bytes: {sum(s['bytes'] for s in stats['namespaces'].values())}")
         return 0
     if args.cache_command == "list":
-        entries = []
-        for fp in store.fingerprints():
-            prov = store.provenance(fp) or {}
-            entries.append({
-                "fingerprint": fp,
-                "kind": prov.get("kind", "?"),
-                "n_modes": prov.get("n_modes", "?"),
-                "compile_seconds": prov.get("compile_seconds", "?"),
-                "created_at": prov.get("created_at", "?"),
-            })
+        entries = [
+            _cache_list_entry(store, ns, e)
+            for ns in namespaces
+            for e in store.entries(ns)
+        ]
         if args.json:
-            print(json.dumps(entries, indent=2, sort_keys=True))
-        else:
-            rows = [[e["fingerprint"][:16], e["kind"], e["n_modes"],
-                     e["compile_seconds"], e["created_at"]] for e in entries]
+            _emit_json("cache.list", entries)
+            return 0
+        for ns in namespaces:
+            ns_entries = [e for e in entries if e["namespace"] == ns]
+            if ns == "mappings":
+                headers = ["fingerprint", "kind", "modes", "compile s", "created"]
+                rows = [[e["fingerprint"][:16], e["kind"], e["n_modes"],
+                         e["compile_seconds"], e["created_at"]] for e in ns_entries]
+            else:
+                headers = ["fingerprint", "kind", "architecture", "routed CX", "bytes"]
+                rows = [[e["fingerprint"][:16], e["kind"], e["architecture"],
+                         e["routed_cx"], e["bytes"]] for e in ns_entries]
             print(format_table(
-                f"{store.root} ({len(entries)} mappings)",
-                ["fingerprint", "kind", "modes", "compile s", "created"],
+                f"{store.root}/{ns} ({len(ns_entries)} entries, LRU first)",
+                headers,
                 rows,
             ))
         return 0
     # clear
-    n = store.clear()
-    print(f"removed {n} cached artifacts from {store.root}")
+    removed = {ns: store.clear(ns) for ns in namespaces}
+    if args.json:
+        _emit_json("cache.clear", {"root": str(store.root), "removed": removed})
+        return 0
+    scope = ", ".join(f"{n} {ns}" for ns, n in removed.items())
+    print(f"removed {scope} entries from {store.root}")
     return 0
 
 
@@ -312,14 +501,14 @@ def _cmd_cases(args: argparse.Namespace) -> int:
     from .models.electronic import electronic_case_names
 
     if args.json:
-        print(json.dumps({
+        _emit_json("cases", {
             "electronic": electronic_case_names(),
             "hubbard": {"pattern": "hubbard:<AxB>",
                         "examples": ["hubbard:2x2", "hubbard:2x3", "hubbard:3x3"]},
             "neutrino": {"pattern": "neutrino:<NxFF>",
                          "examples": ["neutrino:2x2F", "neutrino:3x2F"]},
             "mappings": list(MAPPING_KINDS),
-        }, indent=2, sort_keys=True))
+        })
         return 0
     print("electronic:", ", ".join(electronic_case_names()))
     print("hubbard:    hubbard:<AxB>   (paper Table II geometries, e.g. hubbard:2x3)")
@@ -334,37 +523,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_compare = sub.add_parser("compare", help="evaluate all mappings on a case")
+    json_parent = _json_parent()
+    engine_parent = _engine_parent()
+    engine_router_parent = _engine_parent(router=True)
+    cache_opt_in = _cache_parent(opt_in=True)
+    cache_default = _cache_parent(opt_in=False)
+
+    p_compare = sub.add_parser(
+        "compare", help="evaluate all mappings on a case",
+        parents=[json_parent, engine_parent, cache_opt_in],
+    )
     p_compare.add_argument("case", help="e.g. H2_sto3g, hubbard:2x3, neutrino:3x2F")
     p_compare.add_argument("--no-circuit", action="store_true",
                            help="skip circuit synthesis (Pauli weight only)")
     p_compare.add_argument("--unopt", action="store_true",
                            help="include HATT without vacuum pairing")
-    p_compare.add_argument("--hatt-backend", choices=HATT_BACKENDS,
-                           default="vector",
-                           help="HATT construction engine (identical output; "
-                                "'vector' is the fast packed-bitmask kernel)")
-    p_compare.add_argument("--json", action="store_true",
-                           help="emit machine-readable JSON instead of a table")
-    _add_cache_args(p_compare, opt_in=True)
     p_compare.set_defaults(func=_cmd_compare)
 
-    p_map = sub.add_parser("map", help="compile one mapping")
+    p_map = sub.add_parser(
+        "map", help="compile one mapping",
+        parents=[json_parent, engine_parent, cache_opt_in],
+    )
     p_map.add_argument("case")
     p_map.add_argument("--mapping", choices=sorted(MAPPING_KINDS),
                        default="hatt")
-    p_map.add_argument("--hatt-backend", choices=HATT_BACKENDS,
-                       default="vector",
-                       help="HATT construction engine (ignored for non-HATT "
-                            "mappings)")
     p_map.add_argument("--output", help="save mapping JSON here")
     p_map.add_argument("--show-strings", action="store_true")
-    _add_cache_args(p_map, opt_in=True)
     p_map.set_defaults(func=_cmd_map)
 
     p_compile = sub.add_parser(
         "compile",
         help="route a Trotter step onto hardware architectures (Table IV)",
+        parents=[json_parent, engine_router_parent, cache_opt_in],
     )
     p_compile.add_argument("case", help="e.g. H2_sto3g, hubbard:2x3")
     p_compile.add_argument("--arch", default="all", metavar="NAME",
@@ -379,48 +569,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--lookahead", type=int, default=None,
                            metavar="N", help="router lookahead horizon "
                            "(default: the router's deep-window default)")
-    p_compile.add_argument("--router-backend", choices=("vector", "scalar"),
-                           default="vector",
-                           help="routing engine (bit-identical output; "
-                                "'vector' is the batched-kernel engine)")
-    p_compile.add_argument("--hatt-backend", choices=HATT_BACKENDS,
-                           default="vector")
-    p_compile.add_argument("--json", action="store_true",
-                           help="emit machine-readable JSON instead of a table")
-    _add_cache_args(p_compile, opt_in=True)
     p_compile.set_defaults(func=_cmd_compile)
 
     p_batch = sub.add_parser(
         "batch",
         help="compile a suite of cases × mappings through the service",
+        parents=[json_parent, engine_parent, cache_default],
     )
     p_batch.add_argument("cases", nargs="+",
                          help="case specs (see `repro cases`)")
     p_batch.add_argument("--mappings", default="hatt", metavar="K1,K2",
                          help=f"comma-separated kinds from {','.join(MAPPING_KINDS)} "
                               "(default: hatt)")
-    p_batch.add_argument("--hatt-backend", choices=HATT_BACKENDS, default="vector")
-    p_batch.add_argument("--json", action="store_true",
-                         help="emit the suite report as JSON")
     p_batch.add_argument("--no-eval", action="store_true",
                          help="skip per-task Pauli-weight evaluation")
     p_batch.add_argument("--output", metavar="FILE",
                          help="also write the report here")
-    _add_cache_args(p_batch, opt_in=False)
     p_batch.set_defaults(func=_cmd_batch)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the mapping cache")
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compilation-service HTTP API",
+        parents=[_cache_parent(opt_in=False,
+                               jobs_help="executor width: N worker threads or "
+                                         "processes (default: 1)")],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8035,
+                         help="bind port; 0 picks a free port (default: 8035)")
+    p_serve.add_argument("--executor", default="thread", metavar="KIND",
+                         help="job executor: 'thread' (shared memory LRU, "
+                              "default) or 'process' (fork pool over the "
+                              "shared disk store)")
+    p_serve.add_argument("--memory-capacity", type=int, default=None, metavar="N",
+                         help="memory-LRU capacity in mappings "
+                              "(default: the service default)")
+    p_serve.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
+                         help="disk LRU cap applied to each artifact namespace "
+                              "(default: unbounded)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the artifact cache",
+        parents=[json_parent, cache_default],
+    )
     p_cache.add_argument("cache_command", choices=["stats", "list", "clear"])
-    p_cache.add_argument("--json", action="store_true")
-    p_cache.add_argument("--cache-dir", metavar="DIR",
-                         help=f"cache directory (default: {default_cache_dir()})")
-    p_cache.add_argument("--no-cache", action="store_true",
-                         help=argparse.SUPPRESS)
+    p_cache.add_argument("--namespace", choices=list(NAMESPACES), default=None,
+                         help="restrict to one artifact namespace "
+                              "(default: all namespaces)")
     p_cache.set_defaults(func=_cmd_cache)
 
-    p_cases = sub.add_parser("cases", help="list built-in benchmark cases")
-    p_cases.add_argument("--json", action="store_true",
-                         help="emit the case registry as JSON")
+    p_cases = sub.add_parser(
+        "cases", help="list built-in benchmark cases", parents=[json_parent],
+    )
     p_cases.set_defaults(func=_cmd_cases)
     return parser
 

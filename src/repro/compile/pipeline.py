@@ -26,6 +26,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 
 from ..analysis.tables import format_table
+from ..backends import BackendConfig
 from ..circuits import architecture, route_circuit, to_cx_u3, trotter_circuit
 from ..circuits.evolution import TERM_ORDERS
 from ..circuits.routing import DEFAULT_LOOKAHEAD, ROUTER_BACKENDS
@@ -241,6 +242,11 @@ class CompilationPipeline:
     hatt_backend:
         HATT construction engine (identical output; forwarded to the
         mapping compile).
+    backends:
+        Unified engine selection (:class:`repro.backends.BackendConfig`);
+        when given it wins over ``hatt_backend`` and over the options'
+        ``router_backend`` — artifacts are identical either way, only
+        compile/route wall time differs.
     """
 
     def __init__(
@@ -248,10 +254,14 @@ class CompilationPipeline:
         service=None,
         options: CompileOptions | None = None,
         hatt_backend: str = "vector",
+        backends: BackendConfig | None = None,
     ):
         self.service = service
         self.options = options if options is not None else CompileOptions()
         self.hatt_backend = hatt_backend
+        if backends is not None:
+            self.hatt_backend = backends.hatt
+            self.options = replace(self.options, router_backend=backends.router)
         self._graphs: dict[str, object] = {}
         self.stats = {"routed": 0, "circuit_hits": 0}
 

@@ -1,0 +1,40 @@
+"""``repro serve`` — the async compilation-service API.
+
+One typed request/response surface (:mod:`repro.serve.schema`) shared by the
+HTTP server, the batch orchestrator, and the CLI; a coalescing job queue
+(:mod:`repro.serve.queue`) in front of the PR-4 compilation service; and an
+asyncio HTTP front end (:mod:`repro.serve.server`) with stdlib clients
+(:mod:`repro.serve.client`).
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .queue import EXECUTORS, JobQueue, execute_request
+from .schema import (
+    JOB_KINDS,
+    SCHEMA,
+    CompileRequest,
+    JobRecord,
+    JobStatus,
+    check_envelope,
+    envelope,
+)
+from .server import BackgroundServer, CompileServer, run_server
+
+__all__ = [
+    "SCHEMA",
+    "JOB_KINDS",
+    "EXECUTORS",
+    "JobStatus",
+    "CompileRequest",
+    "JobRecord",
+    "envelope",
+    "check_envelope",
+    "JobQueue",
+    "execute_request",
+    "CompileServer",
+    "BackgroundServer",
+    "run_server",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServiceError",
+]

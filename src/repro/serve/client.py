@@ -1,0 +1,188 @@
+"""Clients for the ``repro serve`` HTTP API.
+
+:class:`ServiceClient` is the synchronous client (stdlib ``http.client``
+over one keep-alive connection — what the benchmark's worker threads and
+the example script use).  :class:`AsyncServiceClient` is the asyncio
+counterpart on raw ``asyncio.open_connection`` streams, used by the
+event-loop coalescing tests to fire N requests in one loop tick.
+
+Both validate every response against the versioned envelope contract
+(:func:`~repro.serve.schema.check_envelope`) and hand back plain dicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from .schema import CompileRequest, JobRecord, check_envelope
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level error response (carries status + server error text)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _check(status: int, doc: dict, command: str | None) -> dict:
+    if status >= 400:
+        raise ServiceError(status, str(doc.get("error") or doc))
+    return check_envelope(doc, command)
+
+
+class ServiceClient:
+    """Synchronous client over one keep-alive connection (not thread-safe;
+    give each thread its own client)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8035, timeout: float = 330.0):
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: dict | None = None, command: str | None = None
+    ) -> tuple[int, dict]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive connection: reconnect once and retry.
+            self._conn.close()
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        doc = json.loads(raw.decode("utf-8"))
+        return response.status, _check(response.status, doc, command)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: CompileRequest | dict,
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> JobRecord:
+        """POST a job; with ``wait=True`` block server-side until it settles."""
+        if isinstance(request, CompileRequest):
+            request = request.to_dict()
+        path = "/v1/jobs"
+        if wait:
+            path += "?wait=1"
+            if timeout is not None:
+                path += f"&timeout={timeout}"
+        _status, doc = self._call("POST", path, body=request, command="jobs.submit")
+        return JobRecord.from_dict(doc["result"])
+
+    def job(self, job_id: str) -> JobRecord:
+        _status, doc = self._call("GET", f"/v1/jobs/{job_id}", command="jobs.get")
+        return JobRecord.from_dict(doc["result"])
+
+    def artifact(self, fingerprint: str) -> dict:
+        _status, doc = self._call(
+            "GET", f"/v1/artifacts/{fingerprint}", command="artifacts.get"
+        )
+        return doc["result"]
+
+    def stats(self) -> dict:
+        _status, doc = self._call("GET", "/v1/stats", command="stats")
+        return doc["result"]
+
+    def healthy(self) -> bool:
+        try:
+            _status, doc = self._call("GET", "/v1/healthz", command="healthz")
+        except (ServiceError, OSError, ValueError):
+            return False
+        return bool(doc["result"].get("ok"))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio client; one connection per request (simple, race-free).
+
+    Exists so tests can put N concurrent submissions *in flight on one event
+    loop* — the pattern the server's coalescing must collapse to one compile.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8035):
+        self.host = host
+        self.port = port
+
+    async def _call(
+        self, method: str, path: str, body: dict | None = None, command: str | None = None
+    ) -> tuple[int, dict]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = b""
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            raw = await reader.readexactly(length)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        doc = json.loads(raw.decode("utf-8"))
+        return status, _check(status, doc, command)
+
+    async def submit(
+        self,
+        request: CompileRequest | dict,
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> JobRecord:
+        if isinstance(request, CompileRequest):
+            request = request.to_dict()
+        path = "/v1/jobs"
+        if wait:
+            path += "?wait=1"
+            if timeout is not None:
+                path += f"&timeout={timeout}"
+        _status, doc = await self._call("POST", path, body=request, command="jobs.submit")
+        return JobRecord.from_dict(doc["result"])
+
+    async def job(self, job_id: str) -> JobRecord:
+        _status, doc = await self._call("GET", f"/v1/jobs/{job_id}", command="jobs.get")
+        return JobRecord.from_dict(doc["result"])
+
+    async def stats(self) -> dict:
+        _status, doc = await self._call("GET", "/v1/stats", command="stats")
+        return doc["result"]

@@ -1,0 +1,295 @@
+"""Job queue with cross-client request coalescing over the compile executors.
+
+The PR-4 :class:`~repro.service.MappingService` single-flights concurrent
+identical requests *inside* one process with per-fingerprint locks — every
+follower still blocks a thread for the whole compile.  :class:`JobQueue`
+generalizes that into request-level coalescing for a served system:
+
+* every submission is keyed by :meth:`CompileRequest.coalesce_key`
+  (engine hints excluded);
+* the first submission of a key creates a :class:`~repro.serve.schema
+  .JobRecord` and dispatches exactly one executor task;
+* any submission arriving while that job is still pending/running is
+  **coalesced**: it gets the same record back (``subscribers`` incremented)
+  and shares the same future — N concurrent identical cold requests cost
+  one compile, with N-1 clients never touching an executor slot;
+* once the job finishes, the key is released — later identical requests
+  become new jobs that complete near-instantly from the warm caches.
+
+Work routes onto either a ``ThreadPoolExecutor`` (``executor="thread"`` —
+compiles run in-process and share the service's memory LRU; the numpy
+kernels release the GIL for most of a compile) or a ``ProcessPoolExecutor``
+(``executor="process"`` — the same fork-based pool the batch orchestrator
+uses, sharing the service's *disk* store via its cache directory).  Results
+travel as plain JSON dicts either way, so the two executors are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..models import load_case
+from ..service import MappingService, pool_context
+from .schema import CompileRequest, JobRecord, JobStatus
+
+__all__ = ["EXECUTORS", "JobQueue", "execute_request"]
+
+#: Executor kinds a queue can route onto.
+EXECUTORS = ("thread", "process")
+
+#: Completed-job retention: the record table keeps at most this many entries,
+#: evicting oldest finished jobs first (live jobs are never evicted).
+_DEFAULT_MAX_JOBS = 4096
+
+
+def _run_request(request: CompileRequest, service: MappingService) -> dict:
+    """Execute one request against a service; the job-family dispatch."""
+    h = load_case(request.case)
+    if request.job == "map":
+        result = service.get_or_compile(h, request.spec())
+        mapping = result.mapping
+        return {
+            "job": "map",
+            "case": request.case,
+            "kind": request.kind,
+            "fingerprint": result.fingerprint,
+            "source": result.source,
+            "compile_seconds": round(result.compile_seconds, 6),
+            "n_modes": mapping.n_modes,
+            "n_qubits": mapping.n_qubits,
+            "pauli_weight": int(mapping.map(h).pauli_weight()),
+        }
+    # job == "compile": mapping + Trotter synthesis + routing, via the
+    # hardware pipeline (its circuits/ artifacts ride the same store).
+    from ..compile import CompilationPipeline
+
+    pipeline = CompilationPipeline(
+        service=service, options=request.options(), hatt_backend=request.hatt_backend
+    )
+    metrics = pipeline.compile_one(h, request.kind, request.arch)
+    return {
+        "job": "compile",
+        "case": request.case,
+        "kind": request.kind,
+        "architecture": request.arch,
+        "fingerprint": metrics.fingerprint,
+        "source": metrics.source,
+        "metrics": metrics.to_dict(),
+    }
+
+
+def execute_request(request_doc: dict, cache_dir: str | None, use_disk: bool) -> dict:
+    """Process-pool entry point (module-level, picklable).
+
+    Workers build their own :class:`MappingService` over the shared cache
+    directory; the parent's disk store sees every artifact they write.
+    """
+    request = CompileRequest.from_dict(request_doc)
+    service = MappingService(cache_dir=cache_dir, use_disk=use_disk)
+    return _run_request(request, service)
+
+
+class JobQueue:
+    """Coalescing job queue in front of a :class:`MappingService`.
+
+    Parameters
+    ----------
+    service:
+        The shared compilation service (its store also holds routed-circuit
+        artifacts).  Built from ``cache_dir`` when omitted.
+    workers:
+        Executor width (≥ 1).
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see module docstring.
+    max_jobs:
+        Completed-record retention bound.
+    """
+
+    def __init__(
+        self,
+        service: MappingService | None = None,
+        cache_dir: str | None = None,
+        workers: int = 1,
+        executor: str = "thread",
+        max_jobs: int = _DEFAULT_MAX_JOBS,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.service = service if service is not None else MappingService(cache_dir)
+        self.executor_kind = executor
+        workers = max(1, int(workers))
+        self.workers = workers
+        if executor == "process":
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=pool_context()
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
+        self._futures: dict[str, Future] = {}
+        self._by_key: dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self.max_jobs = int(max_jobs)
+        self._counters = {"submitted": 0, "coalesced": 0, "executed": 0, "errors": 0}
+
+    # ------------------------------------------------------------------
+    # Submission and coalescing
+    # ------------------------------------------------------------------
+    def submit(self, request: CompileRequest) -> tuple[JobRecord, bool]:
+        """Enqueue one request; returns ``(record, coalesced)``.
+
+        ``coalesced=True`` means an identical request was already in flight
+        and this submission subscribed to it instead of dispatching work.
+        """
+        key = request.coalesce_key()
+        with self._lock:
+            self._counters["submitted"] += 1
+            jid = self._by_key.get(key)
+            if jid is not None:
+                record = self._jobs[jid]
+                future = self._futures.get(jid)
+                if future is not None and future.done():
+                    # Completed but not yet finalized (no one polled it);
+                    # settle it now so this submission starts a fresh job.
+                    self._finalize_locked(record, future)
+                if not record.done:
+                    record.subscribers += 1
+                    self._counters["coalesced"] += 1
+                    return record, True
+            record = JobRecord(
+                id=f"j{next(self._ids):08d}",
+                request=request,
+                status=JobStatus.QUEUED,
+                created_at=time.time(),
+            )
+            self._jobs[record.id] = record
+            self._by_key[key] = record.id
+            self._trim_locked()
+            if self.executor_kind == "process":
+                # The pool owns the work from here; RUNNING means
+                # "dispatched" (worker start isn't observable cross-process).
+                record.status = JobStatus.RUNNING
+                record.started_at = time.time()
+        if self.executor_kind == "process":
+            store = self.service.store
+            cache_dir = str(store.root) if store is not None else None
+            future = self._pool.submit(
+                execute_request, request.to_dict(), cache_dir, store is not None
+            )
+        else:
+            future = self._pool.submit(self._run_local, record)
+        with self._lock:
+            self._futures[record.id] = future
+        future.add_done_callback(lambda fut, rec=record: self._on_done(rec, fut))
+        return record, False
+
+    def _run_local(self, record: JobRecord) -> dict:
+        with self._lock:
+            record.status = JobStatus.RUNNING
+            record.started_at = time.time()
+        return _run_request(record.request, self.service)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _on_done(self, record: JobRecord, future: Future) -> None:
+        with self._lock:
+            self._finalize_locked(record, future)
+
+    def _finalize_locked(self, record: JobRecord, future: Future) -> None:
+        """Settle one finished future into its record (idempotent)."""
+        if record.done:
+            return
+        try:
+            result = future.result()
+            record.result = result
+            record.fingerprint = result.get("fingerprint")
+            record.source = result.get("source")
+            record.status = JobStatus.DONE
+            self._counters["executed"] += 1
+        except Exception as exc:  # noqa: BLE001 - reported per-job, never fatal
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.status = JobStatus.ERROR
+            self._counters["errors"] += 1
+        record.finished_at = time.time()
+        key = record.request.coalesce_key()
+        if self._by_key.get(key) == record.id:
+            del self._by_key[key]
+
+    def _trim_locked(self) -> None:
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for jid in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            record = self._jobs[jid]
+            if record.done:
+                del self._jobs[jid]
+                self._futures.pop(jid, None)
+
+    # ------------------------------------------------------------------
+    # Lookup and waiting
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord | None:
+        """The job's current record, settling a finished future if needed."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            future = self._futures.get(job_id)
+            if future is not None and future.done() and not record.done:
+                self._finalize_locked(record, future)
+            return record
+
+    def future(self, job_id: str) -> Future | None:
+        """The job's future (for ``asyncio.wrap_future`` bridging)."""
+        with self._lock:
+            return self._futures.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job settles (or ``timeout``); returns its record."""
+        future = self.future(job_id)
+        if future is None:
+            record = self.get(job_id)
+            if record is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            return record
+        try:
+            future.exception(timeout)
+        except TimeoutError:
+            pass
+        return self.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Introspection and shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            by_status = {status: 0 for status in JobStatus.ALL}
+            for record in self._jobs.values():
+                by_status[record.status] += 1
+            out = dict(self._counters)
+        out["jobs"] = by_status
+        out["executor"] = self.executor_kind
+        out["workers"] = self.workers
+        out["service"] = self.service.stats()
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

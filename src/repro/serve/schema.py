@@ -1,0 +1,259 @@
+"""Typed request/response layer shared by the HTTP API, batch, and the CLI.
+
+This module is the API redesign's core: **one** canonical request object
+(:class:`CompileRequest`) flows through every entry point — a ``POST
+/v1/jobs`` body, a ``repro serve`` job, a batch cell, a CLI invocation — and
+fingerprints identically everywhere, because all of them resolve to the same
+:class:`~repro.service.MappingSpec` / ``CompileOptions`` pair underneath.
+
+Three layers:
+
+* :class:`CompileRequest` — a validated, immutable job description
+  (``"map"`` → compile one fermion-to-qubit mapping; ``"compile"`` → route a
+  Trotter step onto one architecture).  Its :meth:`~CompileRequest
+  .coalesce_key` is the cross-client request-coalescing key: engine hints
+  (``hatt_backend`` / ``router_backend``) are *excluded*, the same exclusion
+  the cache fingerprints make, so clients asking for the same physics on
+  different engines still share one compile.
+* :class:`JobRecord` — the lifecycle of one submitted job
+  (:class:`JobStatus` state machine, timestamps, result payload).
+* :func:`envelope` — the versioned JSON response wrapper
+  ``{"schema": "repro/v1", "command": ..., "result": ...}`` that every
+  ``--json`` CLI path and every HTTP response uses.
+
+Everything round-trips through plain JSON dicts (``to_dict``/``from_dict``)
+with strict unknown-key rejection, so a typo'd field fails loudly at the
+edge instead of silently changing the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from ..circuits.evolution import TERM_ORDERS
+from ..circuits.routing import ROUTER_BACKENDS
+from ..compile.pipeline import ARCHITECTURES, CompileOptions
+from ..hatt.construction import BACKENDS as HATT_BACKENDS
+from ..service import MAPPING_KINDS, MappingSpec
+
+__all__ = [
+    "SCHEMA",
+    "JOB_KINDS",
+    "JobStatus",
+    "CompileRequest",
+    "JobRecord",
+    "envelope",
+    "check_envelope",
+]
+
+#: Version tag carried by every envelope; bump on incompatible surface changes.
+SCHEMA = "repro/v1"
+
+#: Job families: ``map`` compiles a fermion-to-qubit mapping, ``compile``
+#: additionally synthesizes and routes one Trotter step onto hardware.
+JOB_KINDS = ("map", "compile")
+
+
+class JobStatus:
+    """Job lifecycle states (string constants, not an enum, so records stay
+    plain-JSON all the way through)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+    ALL = (QUEUED, RUNNING, DONE, ERROR)
+    TERMINAL = (DONE, ERROR)
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One validated compilation job, identical across every entry point.
+
+    ``hatt_backend`` / ``router_backend`` are engine *hints*: they select
+    between bit-identical kernels, so they are excluded from
+    :meth:`coalesce_key` (and from the underlying cache fingerprints).
+    ``arch``/``term_order``/``lookahead`` only apply to ``job="compile"``.
+    """
+
+    case: str
+    job: str = "map"
+    kind: str = "hatt"
+    arch: str | None = None
+    term_order: str = "mutual"
+    lookahead: int | None = None
+    hatt_backend: str = "vector"
+    router_backend: str = "vector"
+
+    #: Fields that identify the *work* (everything but the engine hints).
+    _KEY_FIELDS = ("job", "case", "kind", "arch", "term_order", "lookahead")
+
+    def __post_init__(self):
+        if not self.case or not isinstance(self.case, str):
+            raise ValueError("request needs a non-empty case spec")
+        if self.job not in JOB_KINDS:
+            raise ValueError(f"unknown job {self.job!r}; expected one of {JOB_KINDS}")
+        if self.kind not in MAPPING_KINDS:
+            raise ValueError(
+                f"unknown mapping kind {self.kind!r}; expected one of {MAPPING_KINDS}"
+            )
+        if self.hatt_backend not in HATT_BACKENDS:
+            raise ValueError(
+                f"unknown hatt backend {self.hatt_backend!r}; "
+                f"expected one of {HATT_BACKENDS}"
+            )
+        if self.router_backend not in ROUTER_BACKENDS:
+            raise ValueError(
+                f"unknown router backend {self.router_backend!r}; "
+                f"expected one of {ROUTER_BACKENDS}"
+            )
+        if self.term_order not in TERM_ORDERS:
+            raise ValueError(
+                f"unknown term order {self.term_order!r}; expected one of {TERM_ORDERS}"
+            )
+        if self.lookahead is not None and (
+            not isinstance(self.lookahead, int) or self.lookahead < 1
+        ):
+            raise ValueError(f"lookahead must be a positive int, got {self.lookahead!r}")
+        if self.job == "compile":
+            if self.arch not in ARCHITECTURES:
+                raise ValueError(
+                    f"compile jobs need arch in {ARCHITECTURES}, got {self.arch!r}"
+                )
+        elif self.arch is not None:
+            raise ValueError("map jobs take no arch")
+
+    # ------------------------------------------------------------------
+    # Bridges into the compilation stack
+    # ------------------------------------------------------------------
+    def spec(self) -> MappingSpec:
+        """The mapping-compile half of the request."""
+        return MappingSpec(kind=self.kind, hatt_backend=self.hatt_backend)
+
+    def options(self) -> CompileOptions:
+        """The synthesis/routing half (``job="compile"`` only)."""
+        kwargs: dict = {
+            "term_order": self.term_order,
+            "router_backend": self.router_backend,
+        }
+        if self.lookahead is not None:
+            kwargs["lookahead"] = self.lookahead
+        return CompileOptions(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def coalesce_key(self) -> str:
+        """Cross-client coalescing key: the work, minus the engine hints."""
+        return "|".join(f"{name}={getattr(self, name)!r}" for name in self._KEY_FIELDS)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CompileRequest":
+        if not isinstance(doc, dict):
+            raise ValueError(f"request must be a JSON object, got {type(doc).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request fields {sorted(unknown)!r}; expected {sorted(known)!r}"
+            )
+        if "case" not in doc:
+            raise ValueError("request needs a non-empty case spec")
+        return cls(**doc)
+
+    def replace(self, **overrides) -> "CompileRequest":
+        return replace(self, **overrides)
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one submitted job (what ``GET /v1/jobs/{id}`` returns).
+
+    ``subscribers`` counts how many submissions this record serves — 1 for a
+    lone request, N when N identical concurrent requests coalesced onto it.
+    ``result`` is the job-family payload (fingerprint/weight for ``map``,
+    routed metrics for ``compile``); ``error`` is set instead on failure.
+    """
+
+    id: str
+    request: CompileRequest
+    status: str = JobStatus.QUEUED
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    fingerprint: str | None = None
+    source: str | None = None
+    subscribers: int = 1
+    result: dict | None = None
+    error: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in JobStatus.TERMINAL
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.created_at
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "request": self.request.to_dict(),
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "subscribers": self.subscribers,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobRecord":
+        if not isinstance(doc, dict):
+            raise ValueError(f"job record must be a JSON object, got {type(doc).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown job-record fields {sorted(unknown)!r}")
+        data = dict(doc)
+        data["request"] = CompileRequest.from_dict(data["request"])
+        record = cls(**data)
+        if record.status not in JobStatus.ALL:
+            raise ValueError(
+                f"unknown job status {record.status!r}; expected one of {JobStatus.ALL}"
+            )
+        return record
+
+
+def envelope(command: str, result, **extra) -> dict:
+    """The versioned response wrapper every JSON surface emits.
+
+    ``command`` names the operation (CLI subcommand or HTTP route action);
+    ``result`` is its payload; keyword extras land beside them (e.g.
+    ``error=...``, ``coalesced=...``).
+    """
+    doc = {"schema": SCHEMA, "command": command, "result": result}
+    doc.update(extra)
+    return doc
+
+
+def check_envelope(doc: dict, command: str | None = None) -> dict:
+    """Validate an envelope and return it (client-side guard)."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"envelope must be a JSON object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported schema {doc.get('schema')!r}; expected {SCHEMA!r}")
+    if "command" not in doc or "result" not in doc:
+        raise ValueError("envelope needs 'command' and 'result' fields")
+    if command is not None and doc["command"] != command:
+        raise ValueError(f"expected command {command!r}, got {doc['command']!r}")
+    return doc

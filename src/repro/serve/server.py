@@ -1,0 +1,389 @@
+"""Asyncio HTTP front end for the compilation service (``repro serve``).
+
+A deliberately small HTTP/1.1 server on stdlib ``asyncio`` streams — no
+framework dependency — speaking JSON envelopes (:func:`~repro.serve.schema
+.envelope`) over keep-alive connections:
+
+========  ======================  ===========================================
+method    path                    action
+========  ======================  ===========================================
+POST      ``/v1/jobs``            submit a :class:`CompileRequest` body; 202
+                                  with the queued/coalesced job record, or
+                                  200 with the settled record when
+                                  ``?wait=1`` (optional ``&timeout=SECONDS``)
+GET       ``/v1/jobs/{id}``       poll one job record
+GET       ``/v1/artifacts/{fp}``  fetch a stored artifact by fingerprint
+                                  (mapping document or routed-circuit
+                                  metrics, whichever namespace holds it)
+GET       ``/v1/stats``           queue + service + store counters
+GET       ``/v1/healthz``         liveness probe
+========  ======================  ===========================================
+
+Blocking work never runs on the event loop: submissions go to the
+:class:`~repro.serve.queue.JobQueue` executors and ``?wait`` bridges the
+job's future back via :func:`asyncio.wrap_future`.  Artifact/stats reads are
+small local-disk JSON reads, served inline.
+
+:class:`BackgroundServer` runs the same server on a dedicated thread with
+its own event loop — the harness the tests, the latency benchmark, and the
+example client share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from urllib.parse import parse_qs, urlsplit
+
+from .queue import JobQueue
+from .schema import CompileRequest, envelope
+from ..service.store import NAMESPACES
+
+__all__ = ["CompileServer", "BackgroundServer", "run_server"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Request bodies above this are rejected (requests are tiny JSON specs).
+_MAX_BODY = 1 << 20
+
+#: Default cap on one ``?wait=1`` hold (seconds); clients pass ``timeout=``
+#: to shorten it.  Long compiles past the cap degrade to 202 + polling.
+_DEFAULT_WAIT_TIMEOUT = 300.0
+
+
+class _BadRequest(Exception):
+    """Client-side error carrying its HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class CompileServer:
+    """One listening endpoint over a shared :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        wait_timeout: float = _DEFAULT_WAIT_TIMEOUT,
+    ):
+        self.queue = queue
+        self.host = host
+        self.port = port  # 0 → ephemeral; rewritten once bound
+        self.wait_timeout = float(wait_timeout)
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at: float | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line.strip() == b"":
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("ascii", "replace").split(None, 2)
+                    )
+                except ValueError:
+                    await self._respond(
+                        writer, 400, envelope("error", None, error="malformed request line")
+                    )
+                    break
+                headers = await self._read_headers(reader)
+                body = await self._read_body(reader, headers)
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    status, payload = await self._dispatch(method, target, body)
+                except _BadRequest as exc:
+                    status, payload = exc.status, envelope("error", None, error=str(exc))
+                except Exception as exc:  # noqa: BLE001 - must never kill the loop
+                    status, payload = 500, envelope(
+                        "error", None, error=f"{type(exc).__name__}: {exc}"
+                    )
+                self.requests_served += 1
+                await self._respond(writer, status, payload, close=close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, _BadRequest):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                return headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise _BadRequest(f"bad Content-Length: {exc}") from exc
+        if length <= 0:
+            return b""
+        if length > _MAX_BODY:
+            raise _BadRequest("request body too large", status=413)
+        return await reader.readexactly(length)
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: dict, close: bool = False
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/")
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+
+        if path == "/v1/jobs" and method == "POST":
+            return await self._post_job(body, query)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._get_job(path.removeprefix("/v1/jobs/"))
+        if path.startswith("/v1/artifacts/") and method == "GET":
+            return self._get_artifact(path.removeprefix("/v1/artifacts/"))
+        if path == "/v1/stats" and method == "GET":
+            return 200, envelope("stats", self._stats())
+        if path == "/v1/healthz" and method == "GET":
+            return 200, envelope("healthz", {"ok": True})
+        if path in ("/v1/jobs", "/v1/stats", "/v1/healthz") or path.startswith(
+            ("/v1/jobs/", "/v1/artifacts/")
+        ):
+            return 405, envelope("error", None, error=f"{method} not allowed on {path}")
+        return 404, envelope("error", None, error=f"no route for {path!r}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _post_job(self, body: bytes, query: dict[str, str]) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from exc
+        try:
+            request = CompileRequest.from_dict(doc)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+        record, coalesced = self.queue.submit(request)
+        wait = query.get("wait", "") not in ("", "0", "false")
+        if wait:
+            try:
+                timeout = float(query.get("timeout", self.wait_timeout))
+            except ValueError as exc:
+                raise _BadRequest(f"bad timeout: {exc}") from exc
+            future = self.queue.future(record.id)
+            if future is not None:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(asyncio.wrap_future(future)), timeout
+                    )
+                except (asyncio.TimeoutError, Exception):  # noqa: B014 - job errors
+                    # surface through the record's status, not the transport.
+                    pass
+            record = self.queue.get(record.id) or record
+        status = 200 if record.done else 202
+        return status, envelope("jobs.submit", record.to_dict(), coalesced=coalesced)
+
+    def _get_job(self, job_id: str) -> tuple[int, dict]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return 404, envelope("error", None, error=f"unknown job {job_id!r}")
+        return 200, envelope("jobs.get", record.to_dict())
+
+    def _get_artifact(self, fingerprint: str) -> tuple[int, dict]:
+        store = self.queue.service.store
+        if store is None:
+            return 404, envelope("error", None, error="server runs without a disk store")
+        try:
+            for namespace, load in (
+                ("mappings", store.get_mapping_doc),
+                ("circuits", store.get_circuit_report),
+            ):
+                doc = load(fingerprint)
+                if doc is not None:
+                    return 200, envelope(
+                        "artifacts.get",
+                        {
+                            "fingerprint": fingerprint,
+                            "namespace": namespace,
+                            "artifact": doc,
+                        },
+                    )
+        except ValueError as exc:  # malformed fingerprint
+            raise _BadRequest(str(exc)) from exc
+        return 404, envelope(
+            "error", None, error=f"no artifact for fingerprint {fingerprint!r}"
+        )
+
+    def _stats(self) -> dict:
+        out = self.queue.stats()
+        out["server"] = {
+            "host": self.host,
+            "port": self.port,
+            "uptime_seconds": (
+                round(time.time() - self._started_at, 3) if self._started_at else None
+            ),
+            "requests_served": self.requests_served,
+            "namespaces": list(NAMESPACES),
+        }
+        return out
+
+
+def run_server(
+    queue: JobQueue, host: str = "127.0.0.1", port: int = 8035, ready=None
+) -> None:
+    """Run a server until cancelled (the ``repro serve`` entry point).
+
+    ``ready`` (optional callable) receives the bound :class:`CompileServer`
+    once listening — the CLI uses it to print the address.
+    """
+
+    async def _main() -> None:
+        server = CompileServer(queue, host=host, port=port)
+        await server.start()
+        if ready is not None:
+            ready(server)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass  # cancelled from outside: clean shutdown
+        finally:
+            await server.stop()
+
+    asyncio.run(_main())
+
+
+class BackgroundServer:
+    """A server on its own thread + event loop (tests, benchmarks, examples).
+
+    ::
+
+        with BackgroundServer(queue) as bg:
+            client = ServiceClient("127.0.0.1", bg.port)
+            ...
+
+    The queue is *not* shut down on exit — it belongs to the caller.
+    """
+
+    def __init__(self, queue: JobQueue, host: str = "127.0.0.1", port: int = 0):
+        self._queue = queue
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.server: CompileServer | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None, "server not started"
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        server = CompileServer(self._queue, host=self._host, port=self._port)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # pragma: no cover - bind failure
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self.server = server
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            loop.close()
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

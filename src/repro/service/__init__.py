@@ -24,7 +24,7 @@ from .fingerprint import (
     fingerprint_operator,
     fingerprint_request,
 )
-from .store import ArtifactStore, default_cache_dir
+from .store import NAMESPACES, ArtifactStore, default_cache_dir
 from .service import CompileResult, MappingService, compile_mapping
 from .batch import (
     BatchTask,
@@ -33,6 +33,7 @@ from .batch import (
     compile_suite,
     expand_tasks,
     iter_compile_suite,
+    pool_context,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "fingerprint_operator",
     "fingerprint_request",
     "ArtifactStore",
+    "NAMESPACES",
     "default_cache_dir",
     "MappingService",
     "CompileResult",
@@ -55,4 +57,5 @@ __all__ = [
     "expand_tasks",
     "compile_suite",
     "iter_compile_suite",
+    "pool_context",
 ]

@@ -39,7 +39,21 @@ __all__ = [
     "expand_tasks",
     "compile_suite",
     "iter_compile_suite",
+    "pool_context",
 ]
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every process-pool consumer shares.
+
+    ``fork`` keeps sys.path (and thus an uninstalled src/ layout) visible to
+    workers where available; other platforms fall back to the default start
+    method.  The serve job queue routes onto the same kind of pool.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
 
 
 @dataclass(frozen=True)
@@ -288,15 +302,9 @@ def iter_compile_suite(
                                 result.compile_seconds, hams[task.case], evaluate)
         return
 
-    # Parallel path: one pool task per unique fingerprint.  ``fork`` keeps
-    # sys.path (and thus an uninstalled src/ layout) visible to workers where
-    # available; other platforms fall back to the default start method.
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX
-        ctx = multiprocessing.get_context()
+    # Parallel path: one pool task per unique fingerprint.
     max_workers = min(jobs, len(by_fp), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx) as pool:
+    with ProcessPoolExecutor(max_workers=max_workers, mp_context=pool_context()) as pool:
         futures = {
             pool.submit(
                 _compile_worker,

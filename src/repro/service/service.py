@@ -91,10 +91,13 @@ class _Stats:
     compiles: int = 0
     compile_seconds: float = 0.0
     single_flight_waits: int = 0
+    memory_evictions: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self) -> dict:
         with self.lock:
+            hits = self.hits_memory + self.hits_disk
+            lookups = hits + self.misses
             return {
                 "hits_memory": self.hits_memory,
                 "hits_disk": self.hits_disk,
@@ -102,6 +105,8 @@ class _Stats:
                 "compiles": self.compiles,
                 "compile_seconds": self.compile_seconds,
                 "single_flight_waits": self.single_flight_waits,
+                "memory_evictions": self.memory_evictions,
+                "hit_rate": round(hits / lookups, 4) if lookups else None,
             }
 
 
@@ -120,6 +125,10 @@ class MappingService:
         that want dedup within a run but no persistent state.
     memory_capacity:
         Max parsed mappings held in the LRU; 0 disables the memory tier.
+    max_bytes:
+        Disk-cache LRU cap, forwarded to the default :class:`ArtifactStore`
+        (an int per namespace or a ``{namespace: bytes}`` dict); ignored when
+        an explicit ``store`` is given.
     """
 
     def __init__(
@@ -128,11 +137,12 @@ class MappingService:
         store: ArtifactStore | None = None,
         use_disk: bool = True,
         memory_capacity: int = _DEFAULT_MEMORY_CAPACITY,
+        max_bytes=None,
     ):
         if store is not None:
             self.store: ArtifactStore | None = store
         elif use_disk:
-            self.store = ArtifactStore(cache_dir)
+            self.store = ArtifactStore(cache_dir, max_bytes=max_bytes)
         else:
             self.store = None
         self.memory_capacity = int(memory_capacity)
@@ -155,11 +165,16 @@ class MappingService:
     def _memory_put(self, fp: str, mapping: FermionQubitMapping) -> None:
         if self.memory_capacity <= 0:
             return
+        evicted = 0
         with self._memory_lock:
             self._memory[fp] = mapping
             self._memory.move_to_end(fp)
             while len(self._memory) > self.memory_capacity:
                 self._memory.popitem(last=False)
+                evicted += 1
+        if evicted:
+            with self._stats.lock:
+                self._stats.memory_evictions += evicted
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -248,6 +263,7 @@ class MappingService:
     def stats(self) -> dict:
         out = self._stats.snapshot()
         out["memory_entries"] = len(self._memory)
+        out["memory_capacity"] = self.memory_capacity
         if self.store is not None:
             out["store"] = self.store.stats()
         return out

@@ -14,6 +14,14 @@ cache (``<root>/chem/``), which honors the same environment variable; the
 (keyed by mapping fingerprint × architecture × compile options — see
 :mod:`repro.compile.pipeline`).
 
+Both namespaces are **LRU-capped**: construct with ``max_bytes`` (one cap
+applied to each namespace, or a ``{"mappings": ..., "circuits": ...}`` dict)
+and every put evicts least-recently-used entries until the namespace fits.
+Recency is the primary document's mtime — refreshed on every successful read
+— so a hot entry survives churn that flushes cold ones.  The cap is strict:
+a namespace never exceeds its budget after a put, even if that means
+evicting the entry just written.
+
 Durability rules:
 
 * **atomic writes** — documents are written to a same-directory temp file
@@ -37,7 +45,7 @@ from pathlib import Path
 from ..mappings.base import FermionQubitMapping
 from ..mappings.io import mapping_from_dict, mapping_to_dict
 
-__all__ = ["ArtifactStore", "default_cache_dir"]
+__all__ = ["ArtifactStore", "NAMESPACES", "default_cache_dir"]
 
 #: On-disk layout version; bump on incompatible directory-structure changes.
 _LAYOUT = "v1"
@@ -45,6 +53,13 @@ _LAYOUT = "v1"
 _MAPPING_DOC = "mapping.json"
 _REPORT_DOC = "report.json"
 _CIRCUIT_DOC = "metrics.json"
+
+#: Artifact namespaces, in display order.  The first document of each
+#: namespace is *primary*: its presence defines the entry, its mtime is the
+#: entry's LRU recency.
+NAMESPACES = ("mappings", "circuits")
+
+_NS_DOCS = {"mappings": (_MAPPING_DOC, _REPORT_DOC), "circuits": (_CIRCUIT_DOC,)}
 
 #: Exceptions that mean "this document's *content* is unusable" — JSON syntax
 #: errors, missing/mistyped keys, inconsistent mapping content (io.py
@@ -61,13 +76,38 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-hatt"
 
 
-class ArtifactStore:
-    """Disk half of the compilation cache; see module docstring for layout."""
+def _normalize_caps(max_bytes) -> dict[str, int | None]:
+    if max_bytes is None:
+        return {ns: None for ns in NAMESPACES}
+    if isinstance(max_bytes, dict):
+        bad = set(max_bytes) - set(NAMESPACES)
+        if bad:
+            raise ValueError(f"unknown cache namespaces {sorted(bad)!r}")
+        return {
+            ns: (int(max_bytes[ns]) if max_bytes.get(ns) is not None else None)
+            for ns in NAMESPACES
+        }
+    return {ns: int(max_bytes) for ns in NAMESPACES}
 
-    def __init__(self, root: str | Path | None = None):
+
+class ArtifactStore:
+    """Disk half of the compilation cache; see module docstring for layout.
+
+    Parameters
+    ----------
+    root:
+        Store root; defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hatt``.
+    max_bytes:
+        LRU cap per namespace — an int (applied to each namespace
+        independently), a ``{namespace: bytes}`` dict, or ``None`` (unbounded,
+        the default).
+    """
+
+    def __init__(self, root: str | Path | None = None, max_bytes=None):
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
-        self._base = self.root / "mappings" / _LAYOUT
-        self._circuit_base = self.root / "circuits" / _LAYOUT
+        self._bases = {ns: self.root / ns / _LAYOUT for ns in NAMESPACES}
+        self._caps = _normalize_caps(max_bytes)
+        self._evictions = {ns: 0 for ns in NAMESPACES}
         self._corrupt_dropped = 0
 
     # ------------------------------------------------------------------
@@ -79,19 +119,27 @@ class ArtifactStore:
             raise ValueError(f"malformed fingerprint {fingerprint!r}")
         return fingerprint
 
-    def _entry_dir(self, fingerprint: str) -> Path:
+    def _ns_dir(self, namespace: str, fingerprint: str) -> Path:
         fp = self._check_fingerprint(fingerprint)
-        return self._base / fp[:2] / fp
+        return self._bases[namespace] / fp[:2] / fp
+
+    def _entry_dir(self, fingerprint: str) -> Path:
+        return self._ns_dir("mappings", fingerprint)
 
     def _circuit_dir(self, fingerprint: str) -> Path:
-        fp = self._check_fingerprint(fingerprint)
-        return self._circuit_base / fp[:2] / fp
+        return self._ns_dir("circuits", fingerprint)
 
     def mapping_path(self, fingerprint: str) -> Path:
         return self._entry_dir(fingerprint) / _MAPPING_DOC
 
     def report_path(self, fingerprint: str) -> Path:
         return self._entry_dir(fingerprint) / _REPORT_DOC
+
+    def circuit_path(self, fingerprint: str) -> Path:
+        return self._circuit_dir(fingerprint) / _CIRCUIT_DOC
+
+    def _primary_path(self, namespace: str, fingerprint: str) -> Path:
+        return self._ns_dir(namespace, fingerprint) / _NS_DOCS[namespace][0]
 
     # ------------------------------------------------------------------
     # Raw document I/O
@@ -113,12 +161,11 @@ class ArtifactStore:
                 pass
             raise
 
-    def _read_doc(self, path: Path) -> dict | None:
+    def _read_doc(self, path: Path, touch: bool = False) -> dict | None:
         try:
             data = json.loads(path.read_text())
             if not isinstance(data, dict):
                 raise ValueError("artifact document is not a JSON object")
-            return data
         except FileNotFoundError:
             return None
         except _CORRUPTION:
@@ -126,6 +173,17 @@ class ArtifactStore:
             return None
         except OSError:
             return None  # transient I/O: a miss, but keep the artifact
+        if touch:
+            self._touch(path)
+        return data
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh a document's mtime (its LRU recency) after a hit."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def _quarantine(self, path: Path) -> None:
         self._corrupt_dropped += 1
@@ -133,6 +191,90 @@ class ArtifactStore:
             path.unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Namespace scans and LRU accounting
+    # ------------------------------------------------------------------
+    def _ns_fingerprints(self, namespace: str) -> list[str]:
+        base = self._bases[namespace]
+        primary = _NS_DOCS[namespace][0]
+        if not base.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for shard in base.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if (entry / primary).is_file()
+        )
+
+    def _entry_bytes(self, namespace: str, fingerprint: str) -> int:
+        entry = self._ns_dir(namespace, fingerprint)
+        total = 0
+        for doc in _NS_DOCS[namespace]:
+            try:
+                total += (entry / doc).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def entries(self, namespace: str) -> list[dict]:
+        """Per-entry inventory of one namespace, least-recently-used first."""
+        if namespace not in NAMESPACES:
+            raise ValueError(f"unknown namespace {namespace!r}; expected {NAMESPACES}")
+        out = []
+        for fp in self._ns_fingerprints(namespace):
+            try:
+                mtime = self._primary_path(namespace, fp).stat().st_mtime
+            except OSError:
+                mtime = 0.0
+            out.append(
+                {
+                    "fingerprint": fp,
+                    "bytes": self._entry_bytes(namespace, fp),
+                    "mtime": mtime,
+                }
+            )
+        out.sort(key=lambda e: (e["mtime"], e["fingerprint"]))
+        return out
+
+    def _remove_entry(self, namespace: str, fingerprint: str) -> bool:
+        entry = self._ns_dir(namespace, fingerprint)
+        existed = False
+        for doc in _NS_DOCS[namespace]:
+            try:
+                (entry / doc).unlink()
+                existed = True
+            except OSError:
+                pass
+        try:
+            entry.rmdir()
+        except OSError:
+            pass
+        return existed
+
+    def _enforce_cap(self, namespace: str) -> int:
+        """Evict least-recently-used entries until the namespace fits its cap.
+
+        Strict bound: eviction continues while the namespace exceeds the cap,
+        even if that removes the entry that was just written (a cap smaller
+        than one artifact yields an always-empty namespace, never an
+        over-budget one).  Returns the number of entries evicted.
+        """
+        cap = self._caps[namespace]
+        if cap is None:
+            return 0
+        inventory = self.entries(namespace)
+        total = sum(e["bytes"] for e in inventory)
+        evicted = 0
+        for entry in inventory:  # LRU-first order
+            if total <= cap:
+                break
+            if self._remove_entry(namespace, entry["fingerprint"]):
+                evicted += 1
+            total -= entry["bytes"]
+        self._evictions[namespace] += evicted
+        return evicted
 
     # ------------------------------------------------------------------
     # Mappings
@@ -145,12 +287,13 @@ class ArtifactStore:
     ) -> Path:
         path = self.mapping_path(fingerprint)
         self._write_atomic(path, mapping_to_dict(mapping, provenance=provenance))
+        self._enforce_cap("mappings")
         return path
 
     def get_mapping(self, fingerprint: str) -> FermionQubitMapping | None:
         """Load a stored mapping, or ``None`` on miss *or* corruption."""
         path = self.mapping_path(fingerprint)
-        data = self._read_doc(path)
+        data = self._read_doc(path, touch=True)
         if data is None:
             return None
         try:
@@ -159,12 +302,17 @@ class ArtifactStore:
             self._quarantine(path)
             return None
 
+    def get_mapping_doc(self, fingerprint: str) -> dict | None:
+        """The raw stored mapping document (schema-v2 JSON), without parsing."""
+        return self._read_doc(self.mapping_path(fingerprint), touch=True)
+
     # ------------------------------------------------------------------
     # Evaluation reports
     # ------------------------------------------------------------------
     def put_report(self, fingerprint: str, report: dict) -> Path:
         path = self.report_path(fingerprint)
         self._write_atomic(path, report)
+        self._enforce_cap("mappings")
         return path
 
     def get_report(self, fingerprint: str) -> dict | None:
@@ -173,42 +321,21 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Routed-circuit metrics (compilation-pipeline artifacts)
     # ------------------------------------------------------------------
-    def circuit_path(self, fingerprint: str) -> Path:
-        return self._circuit_dir(fingerprint) / _CIRCUIT_DOC
-
     def put_circuit_report(self, fingerprint: str, report: dict) -> Path:
         path = self.circuit_path(fingerprint)
         self._write_atomic(path, report)
+        self._enforce_cap("circuits")
         return path
 
     def get_circuit_report(self, fingerprint: str) -> dict | None:
-        return self._read_doc(self.circuit_path(fingerprint))
+        return self._read_doc(self.circuit_path(fingerprint), touch=True)
 
     def circuit_fingerprints(self) -> list[str]:
         """All fingerprints with a routed-circuit document, sorted."""
-        if not self._circuit_base.is_dir():
-            return []
-        return sorted(
-            entry.name
-            for shard in self._circuit_base.iterdir()
-            if shard.is_dir()
-            for entry in shard.iterdir()
-            if (entry / _CIRCUIT_DOC).is_file()
-        )
+        return self._ns_fingerprints("circuits")
 
     def remove_circuit(self, fingerprint: str) -> bool:
-        entry = self._circuit_dir(fingerprint)
-        existed = False
-        try:
-            (entry / _CIRCUIT_DOC).unlink()
-            existed = True
-        except OSError:
-            pass
-        try:
-            entry.rmdir()
-        except OSError:
-            pass
-        return existed
+        return self._remove_entry("circuits", fingerprint)
 
     # ------------------------------------------------------------------
     # Inventory
@@ -218,15 +345,7 @@ class ArtifactStore:
 
     def fingerprints(self) -> list[str]:
         """All fingerprints with a mapping document, sorted."""
-        if not self._base.is_dir():
-            return []
-        return sorted(
-            entry.name
-            for shard in self._base.iterdir()
-            if shard.is_dir()
-            for entry in shard.iterdir()
-            if (entry / _MAPPING_DOC).is_file()
-        )
+        return self._ns_fingerprints("mappings")
 
     def provenance(self, fingerprint: str) -> dict | None:
         data = self._read_doc(self.mapping_path(fingerprint))
@@ -237,54 +356,43 @@ class ArtifactStore:
 
     def remove(self, fingerprint: str) -> bool:
         """Drop one entry (mapping + report). Returns whether anything existed."""
-        entry = self._entry_dir(fingerprint)
-        existed = False
-        for doc in (_MAPPING_DOC, _REPORT_DOC):
-            try:
-                (entry / doc).unlink()
-                existed = True
-            except OSError:
-                pass
-        try:
-            entry.rmdir()
-        except OSError:
-            pass
-        return existed
+        return self._remove_entry("mappings", fingerprint)
 
-    def clear(self) -> int:
-        """Remove every entry (mappings *and* circuit metrics); returns the
-        number of artifacts dropped."""
+    def clear(self, namespace: str | None = None) -> int:
+        """Remove every entry of one namespace (default: all); returns the
+        number of entries dropped."""
+        targets = NAMESPACES if namespace is None else (namespace,)
         n = 0
-        for fp in self.fingerprints():
-            if self.remove(fp):
-                n += 1
-        for fp in self.circuit_fingerprints():
-            if self.remove_circuit(fp):
-                n += 1
+        for ns in targets:
+            if ns not in NAMESPACES:
+                raise ValueError(f"unknown namespace {ns!r}; expected {NAMESPACES}")
+            for fp in self._ns_fingerprints(ns):
+                if self._remove_entry(ns, fp):
+                    n += 1
         return n
 
+    def namespace_stats(self) -> dict:
+        """Per-namespace entry counts, byte totals, caps, and evictions."""
+        out = {}
+        for ns in NAMESPACES:
+            inventory = self.entries(ns)
+            out[ns] = {
+                "entries": len(inventory),
+                "bytes": sum(e["bytes"] for e in inventory),
+                "max_bytes": self._caps[ns],
+                "evictions": self._evictions[ns],
+            }
+        return out
+
     def stats(self) -> dict:
-        fps = self.fingerprints()
-        circuit_fps = self.circuit_fingerprints()
-        total = 0
-        for fp in fps:
-            entry = self._entry_dir(fp)
-            for doc in (_MAPPING_DOC, _REPORT_DOC):
-                try:
-                    total += (entry / doc).stat().st_size
-                except OSError:
-                    pass
-        for fp in circuit_fps:
-            try:
-                total += self.circuit_path(fp).stat().st_size
-            except OSError:
-                pass
+        ns = self.namespace_stats()
         return {
             "root": str(self.root),
-            "n_mappings": len(fps),
-            "n_circuits": len(circuit_fps),
-            "total_bytes": total,
+            "n_mappings": ns["mappings"]["entries"],
+            "n_circuits": ns["circuits"]["entries"],
+            "total_bytes": sum(s["bytes"] for s in ns.values()),
             "corrupt_dropped": self._corrupt_dropped,
+            "namespaces": ns,
         }
 
     def __repr__(self) -> str:

@@ -10,12 +10,19 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.mappings.io import load_mapping
+from repro.serve.schema import SCHEMA
 from repro.service import ArtifactStore
 
 
-def run_json(capsys, argv):
+def run_json(capsys, argv, command=None):
+    """Run a CLI invocation and return the envelope's ``result`` payload."""
     assert main(argv) == 0
-    return json.loads(capsys.readouterr().out)
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == SCHEMA
+    assert "command" in doc and "result" in doc
+    if command is not None:
+        assert doc["command"] == command
+    return doc["result"]
 
 
 class TestCompare:
@@ -176,7 +183,40 @@ class TestCache:
 
     def test_human_readable_stats(self, tmp_path, capsys):
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
-        assert "mappings:    0" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "mappings:" in out and "circuits:" in out
+
+    def _warm_both_namespaces(self, cache, capsys):
+        assert main(["compile", "hubbard:1x2", "--arch", "montreal",
+                     "--mappings", "jw", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+    def test_namespace_scoped_stats_and_list(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm_both_namespaces(cache, capsys)
+        stats = run_json(capsys, ["cache", "stats", "--cache-dir", cache,
+                                  "--namespace", "circuits", "--json"],
+                         command="cache.stats")
+        assert set(stats["namespaces"]) == {"circuits"}
+        assert stats["namespaces"]["circuits"]["entries"] == 1
+        assert stats["namespaces"]["circuits"]["bytes"] > 0
+        entries = run_json(capsys, ["cache", "list", "--cache-dir", cache,
+                                    "--namespace", "circuits", "--json"],
+                           command="cache.list")
+        assert len(entries) == 1
+        assert entries[0]["namespace"] == "circuits"
+        assert entries[0]["architecture"] == "montreal"
+
+    def test_namespace_scoped_clear_leaves_other_namespace(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm_both_namespaces(cache, capsys)
+        cleared = run_json(capsys, ["cache", "clear", "--cache-dir", cache,
+                                    "--namespace", "circuits", "--json"],
+                           command="cache.clear")
+        assert cleared["removed"] == {"circuits": 1}
+        store = ArtifactStore(cache)
+        assert store.circuit_fingerprints() == []
+        assert len(store.fingerprints()) == 1
 
 
 class TestParser:
@@ -184,16 +224,47 @@ class TestParser:
         parser = build_parser()
         sub = next(a for a in parser._actions
                    if isinstance(a, type(parser._subparsers._group_actions[0])))
-        assert {"compare", "map", "batch", "cache", "cases"} <= set(sub.choices)
+        assert {"compare", "map", "compile", "batch", "serve", "cache",
+                "cases"} <= set(sub.choices)
 
     @pytest.mark.parametrize("argv", [
         ["compare", "hubbard:1x2", "--hatt-backend", "bogus"],
         ["map", "hubbard:1x2", "--mapping", "bogus"],
         ["cache", "bogus"],
+        ["cache", "stats", "--namespace", "bogus"],
     ])
     def test_invalid_choices_rejected(self, argv):
         with pytest.raises(SystemExit):
             main(argv)
+
+    @pytest.mark.parametrize("command,argv", [
+        ("compare", ["compare", "hubbard:1x2", "--no-circuit", "--json"]),
+        ("map", ["map", "hubbard:1x2", "--json"]),
+        ("cases", ["cases", "--json"]),
+        ("batch", ["batch", "hubbard:1x2", "--no-cache", "--json"]),
+    ])
+    def test_every_json_path_emits_the_envelope(self, command, argv, capsys):
+        run_json(capsys, argv, command=command)
+
+    def test_deprecated_backend_alias_warns_once(self, capsys):
+        import repro.cli as cli
+
+        cli._warned_deprecated.clear()
+        assert main(["map", "hubbard:1x2", "--hatt-backend", "scalar"]) == 0
+        assert "--hatt-backend is deprecated" in capsys.readouterr().err
+        assert main(["map", "hubbard:1x2", "--hatt-backend", "scalar"]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_unified_backend_flag_matches_default(self, capsys):
+        fast = run_json(capsys, ["map", "hubbard:2x2", "--json"])
+        slow = run_json(capsys, ["map", "hubbard:2x2", "--json",
+                                 "--backend", "scalar"])
+        assert fast["pauli_weight"] == slow["pauli_weight"]
+        assert fast["n_qubits"] == slow["n_qubits"]
+
+    def test_bad_backend_spec_rejected(self, capsys):
+        with pytest.raises(ValueError):
+            main(["map", "hubbard:1x2", "--backend", "bogus"])
 
 
 class TestCompile:

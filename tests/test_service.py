@@ -475,3 +475,101 @@ class TestCircuitNamespace:
         store.put_circuit_report(fp, {"x": 1})
         assert store.remove_circuit(fp)
         assert store.get_circuit_report(fp) is None
+
+
+class TestLruCaps:
+    """Disk-cache LRU caps: eviction order, strict bounds, per-namespace."""
+
+    @staticmethod
+    def _put(store, fp, mtime, pad=100):
+        store.put_circuit_report(fp, {"pad": "x" * pad})
+        os.utime(store.circuit_path(fp), (mtime, mtime))
+
+    def test_uncapped_store_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(5):
+            self._put(store, f"{i:02d}" * 32, mtime=1000 + i)
+        assert len(store.circuit_fingerprints()) == 5
+        assert store.namespace_stats()["circuits"]["evictions"] == 0
+
+    def test_cap_evicts_least_recently_used_first(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10_000)
+        size = None
+        for i in range(3):
+            self._put(store, f"{i:02d}" * 32, mtime=1000 + i)
+            size = store.circuit_path(f"{i:02d}" * 32).stat().st_size
+        # Shrink the cap to two entries and trigger enforcement with a put.
+        store._caps["circuits"] = int(2.5 * size)
+        self._put(store, "aa" * 32, mtime=2000)
+        left = store.circuit_fingerprints()
+        assert "00" * 32 not in left and "01" * 32 not in left
+        assert "02" * 32 in left and "aa" * 32 in left
+        assert store.namespace_stats()["circuits"]["evictions"] == 2
+
+    def test_read_hit_refreshes_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(3):
+            self._put(store, f"{i:02d}" * 32, mtime=1000 + i)
+        assert store.get_circuit_report("00" * 32) is not None  # touch
+        order = [e["fingerprint"] for e in store.entries("circuits")]
+        assert order == ["01" * 32, "02" * 32, "00" * 32]
+
+    def test_hot_entry_survives_cap_pressure(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10_000)
+        self._put(store, "00" * 32, mtime=1000)
+        self._put(store, "01" * 32, mtime=1001)
+        size = store.circuit_path("01" * 32).stat().st_size
+        assert store.get_circuit_report("00" * 32) is not None  # now the hottest
+        store._caps["circuits"] = int(2.5 * size)
+        self._put(store, "02" * 32, mtime=99999)
+        left = store.circuit_fingerprints()
+        assert "00" * 32 in left and "01" * 32 not in left
+
+    def test_strict_cap_never_exceeded_even_by_newest(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10)
+        store.put_circuit_report("ab" * 32, {"pad": "x" * 100})
+        assert store.circuit_fingerprints() == []
+        assert store.namespace_stats()["circuits"]["bytes"] == 0
+        assert store.namespace_stats()["circuits"]["evictions"] == 1
+
+    def test_caps_are_per_namespace(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes={"circuits": 10})
+        h = load_case("hubbard:1x2")
+        spec = MappingSpec(kind="jw", n_modes=4)
+        fp = fingerprint_request(h, spec)
+        store.put_mapping(fp, compile_mapping(h, spec))
+        store.put_circuit_report("cd" * 32, {"pad": "x" * 100})
+        assert store.fingerprints() == [fp]  # mappings namespace unbounded
+        assert store.circuit_fingerprints() == []
+
+    def test_interleaved_reads_and_writes_stay_bounded(self, tmp_path):
+        cap = 1200
+        store = ArtifactStore(tmp_path, max_bytes=cap)
+        for i in range(12):
+            self._put(store, f"{i:02x}" * 32, mtime=1000 + i)
+            if i % 3 == 0:
+                store.get_circuit_report(f"{i:02x}" * 32)
+            assert store.namespace_stats()["circuits"]["bytes"] <= cap
+
+    def test_bad_cap_namespace_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown cache namespaces"):
+            ArtifactStore(tmp_path, max_bytes={"bogus": 10})
+
+    def test_service_forwards_max_bytes(self, tmp_path):
+        svc = MappingService(cache_dir=tmp_path, max_bytes=10)
+        h = load_case("hubbard:1x2")
+        svc.get_or_compile(h, MappingSpec(kind="jw", n_modes=4))
+        # The artifact was written, then immediately evicted by the tiny cap.
+        assert svc.store.fingerprints() == []
+        assert svc.stats()["store"]["namespaces"]["mappings"]["evictions"] == 1
+
+    def test_memory_metrics_exposed(self, tmp_path):
+        svc = MappingService(cache_dir=tmp_path, memory_capacity=1)
+        h4, h8 = load_case("hubbard:1x2"), load_case("hubbard:2x2")
+        svc.get_or_compile(h4, MappingSpec(kind="jw", n_modes=4))
+        svc.get_or_compile(h8, MappingSpec(kind="jw", n_modes=8))  # evicts
+        svc.get_or_compile(h4, MappingSpec(kind="jw", n_modes=4))  # disk hit
+        stats = svc.stats()
+        assert stats["memory_evictions"] >= 1
+        assert stats["hits_disk"] == 1
+        assert stats["hit_rate"] == round(1 / 3, 4)
