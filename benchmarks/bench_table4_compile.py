@@ -1,9 +1,12 @@
 """Paper Table IV: architecture-aware compilation via the hardware pipeline.
 
-JW / BK / BTT / HATT single-Trotter-step circuits synthesized with the
-mutual-support ladder pass, peephole-optimized, and routed onto the four
-coupling-graph stand-ins (Manhattan, Montreal, Sycamore, IonQ Forte) with
-the SABRE-lite router.  Supersedes the old ``bench_table4_tetris`` harness:
+JW / BK / BTT / HATT / HATT-arch single-Trotter-step circuits synthesized
+with the mutual-support ladder pass, peephole-optimized, and routed onto the
+four coupling-graph stand-ins (Manhattan, Montreal, Sycamore, IonQ Forte)
+with the SABRE-lite router.  ``hatt-arch`` grows the tree against the same
+coupling graph it is routed onto (distance-biased candidate selection) and
+carries the pipeline's portfolio guard, so its routed CNOTs and depth are
+bounded above by plain HATT's per architecture — asserted below.  Supersedes the old ``bench_table4_tetris`` harness:
 it sweeps every mapping kind, records SWAP counts, cross-checks the two
 router engines, and enforces the vectorized router's speedup floor.
 
@@ -61,7 +64,7 @@ else:
     SPEEDUP_CASE = "H2O_sto3g"
     SPEEDUP_REPEATS = 3
 
-KINDS = ("jw", "bk", "btt", "hatt")
+KINDS = ("jw", "bk", "btt", "hatt", "hatt-arch")
 
 #: Acceptance floor: the vector router must beat the scalar reference by
 #: this factor on the largest case at the deep-horizon configuration.
@@ -136,6 +139,17 @@ def test_table4_hatt_wins_on_neutrino(table4):
             hatt = per_kind["hatt"].routed_cx
             assert hatt <= per_kind["jw"].routed_cx, (case, arch)
             assert hatt <= per_kind["bk"].routed_cx, (case, arch)
+
+
+def test_table4_hatt_arch_never_worse_than_hatt(table4):
+    """The hatt-arch portfolio guarantee: on every (case, architecture) the
+    architecture-adaptive row routes with no more CNOTs *and* no more depth
+    than plain HATT (the guard falls back to the plain tree otherwise)."""
+    for case, report in table4.items():
+        for arch, per_kind in report.metrics.items():
+            adaptive, plain = per_kind["hatt-arch"], per_kind["hatt"]
+            assert adaptive.routed_cx <= plain.routed_cx, (case, arch)
+            assert adaptive.routed_depth <= plain.routed_depth, (case, arch)
 
 
 def test_table4_electronic_aggregate(table4):

@@ -147,6 +147,8 @@ def compare_mappings(
     service: "object | None" = None,
     term_order: str = "lexicographic",
     backends: BackendConfig | None = None,
+    arch: str | None = None,
+    arch_weight: float | None = None,
 ) -> dict[str, MappingReport]:
     """Evaluate JW/BK/BTT/HATT (and optionally HATT-unopt) on one Hamiltonian.
 
@@ -154,6 +156,12 @@ def compare_mappings(
     ``"scalar"``); both produce identical mappings, only compile time differs.
     ``backends`` (a :class:`repro.backends.BackendConfig`) is the unified
     form of the same choice and wins over ``hatt_backend`` when given.
+
+    ``arch`` (an architecture name from :mod:`repro.circuits.architectures`)
+    adds a ``HATT-arch`` row: the tree grown with candidate selection biased
+    by routed distance on that coupling graph (blend tuned by
+    ``arch_weight``).  Note these logical metrics need not improve — the
+    biased tree pays off after routing (see ``repro compile``).
 
     ``service`` (a :class:`repro.service.MappingService`) routes every
     compile through the compilation cache: warm fingerprints load stored
@@ -163,24 +171,45 @@ def compare_mappings(
     """
     if backends is not None:
         hatt_backend = backends.hatt
+    if arch is None and arch_weight is not None:
+        raise ValueError("arch_weight needs an arch")
     if service is not None:
         from ..service.fingerprint import MappingSpec
 
         names = dict(COMPARE_KINDS)
         if include_unopt:
             names["HATT-unopt"] = "hatt-unopt"
-        mappings = {
-            name: service.get_or_compile(
-                hamiltonian,
-                MappingSpec(kind=kind, n_modes=n_modes, hatt_backend=hatt_backend),
-            ).mapping
+        specs = {
+            name: MappingSpec(kind=kind, n_modes=n_modes, hatt_backend=hatt_backend)
             for name, kind in names.items()
+        }
+        if arch is not None:
+            specs["HATT-arch"] = MappingSpec(
+                kind="hatt-arch",
+                n_modes=n_modes,
+                hatt_backend=hatt_backend,
+                arch=arch,
+                arch_weight=arch_weight,
+            )
+        mappings = {
+            name: service.get_or_compile(hamiltonian, spec).mapping
+            for name, spec in specs.items()
         }
     else:
         mappings = standard_mappings(n_modes)
         mappings["HATT"] = hatt_mapping(
             hamiltonian, n_modes=n_modes, backend=hatt_backend
         )
+        if arch is not None:
+            from ..circuits.architectures import architecture
+
+            mappings["HATT-arch"] = hatt_mapping(
+                hamiltonian,
+                n_modes=n_modes,
+                backend=hatt_backend,
+                graph=architecture(arch),
+                arch_weight=arch_weight,
+            )
         if include_unopt:
             mappings["HATT-unopt"] = hatt_mapping(
                 hamiltonian, n_modes=n_modes, vacuum=False, backend=hatt_backend

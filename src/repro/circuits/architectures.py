@@ -24,7 +24,15 @@ from __future__ import annotations
 
 import networkx as nx
 
-__all__ = ["heavy_hex", "manhattan", "montreal", "sycamore", "ionq_forte", "architecture"]
+__all__ = [
+    "heavy_hex",
+    "manhattan",
+    "montreal",
+    "sycamore",
+    "ionq_forte",
+    "architecture",
+    "ARCHITECTURE_NAMES",
+]
 
 
 def heavy_hex(n_rows: int, row_length: int, connector_spacing: int = 4) -> nx.Graph:
@@ -97,6 +105,9 @@ _ARCHITECTURES = {
     "sycamore": sycamore,
     "ionq_forte": ionq_forte,
 }
+
+#: Registry names, in definition order (CLI/choice lists, spec validation).
+ARCHITECTURE_NAMES = tuple(_ARCHITECTURES)
 
 
 def architecture(name: str) -> nx.Graph:

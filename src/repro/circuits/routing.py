@@ -106,56 +106,79 @@ class RoutedCircuit:
         return self.circuit.depth()
 
 
+def _graph_signature(graph: nx.Graph) -> tuple[int, int]:
+    """Cheap structural fingerprint: node count + hashed sorted edge set.
+
+    O(E log E) per call — negligible against the BFS sweep it guards — and
+    it changes whenever the graph gains/loses nodes or edges, so tables
+    cached before a mutation are recomputed instead of silently reused.
+    """
+    edges = tuple(sorted((u, v) if u <= v else (v, u) for u, v in graph.edges))
+    return (graph.number_of_nodes(), hash(edges))
+
+
+def _cached_table(graph: nx.Graph, key: str, build):
+    """Signature-validated memo slot on ``graph.graph[key]``."""
+    sig = _graph_signature(graph)
+    cached = graph.graph.get(key)
+    if cached is not None and cached[0] == sig:
+        return cached[1]
+    value = build()
+    graph.graph[key] = (sig, value)
+    return value
+
+
 def distance_matrix(graph: nx.Graph) -> np.ndarray:
     """All-pairs shortest-path distances as an ``(n, n)`` int32 matrix.
 
-    Cached on ``graph.graph``, so every route onto one architecture instance
-    pays the BFS sweep once — the compilation pipeline reuses one graph per
-    architecture across its whole mapping sweep.  Nodes must be the integers
+    Cached on ``graph.graph`` keyed by the graph's structural signature, so
+    every route onto one architecture instance pays the BFS sweep once — the
+    compilation pipeline reuses one graph per architecture across its whole
+    mapping sweep — while mutating the graph afterwards invalidates the
+    entry instead of serving stale distances.  Nodes must be the integers
     ``0..n-1`` (all :mod:`.architectures` graphs are).
     """
-    cached = graph.graph.get(_DIST_KEY)
-    if cached is not None:
-        return cached
-    n = graph.number_of_nodes()
-    if sorted(graph.nodes) != list(range(n)):
-        raise ValueError("coupling-graph nodes must be the integers 0..n-1")
-    dist = np.full((n, n), -1, dtype=np.int32)
-    for src, lengths in nx.all_pairs_shortest_path_length(graph):
-        for dst, d in lengths.items():
-            dist[src, dst] = d
-    if (dist < 0).any():
-        raise ValueError("coupling graph must be connected")
-    graph.graph[_DIST_KEY] = dist
-    return dist
+
+    def build() -> np.ndarray:
+        n = graph.number_of_nodes()
+        if sorted(graph.nodes) != list(range(n)):
+            raise ValueError("coupling-graph nodes must be the integers 0..n-1")
+        dist = np.full((n, n), -1, dtype=np.int32)
+        for src, lengths in nx.all_pairs_shortest_path_length(graph):
+            for dst, d in lengths.items():
+                dist[src, dst] = d
+        if (dist < 0).any():
+            raise ValueError("coupling graph must be connected")
+        return dist
+
+    return _cached_table(graph, _DIST_KEY, build)
 
 
 def _sorted_adjacency(graph: nx.Graph) -> list[list[int]]:
     """Per-node neighbour lists in ascending order (cached on the graph)."""
-    cached = graph.graph.get(_ADJ_KEY)
-    if cached is not None:
-        return cached
-    adj = [sorted(graph.neighbors(v)) for v in range(graph.number_of_nodes())]
-    graph.graph[_ADJ_KEY] = adj
-    return adj
+    return _cached_table(
+        graph,
+        _ADJ_KEY,
+        lambda: [sorted(graph.neighbors(v)) for v in range(graph.number_of_nodes())],
+    )
 
 
 def _padded_adjacency(graph: nx.Graph) -> np.ndarray:
     """Sorted adjacency as an ``(n, max_degree)`` matrix, rows padded with
     the node itself (self-entries never reduce the front distance, so the
     candidate filter drops them)."""
-    cached = graph.graph.get(_ADJM_KEY)
-    if cached is not None:
-        return cached
-    adj = _sorted_adjacency(graph)
-    n = graph.number_of_nodes()
-    width = max(len(row) for row in adj)
-    mat = np.empty((n, width), dtype=np.int32)
-    for v, row in enumerate(adj):
-        mat[v, : len(row)] = row
-        mat[v, len(row) :] = v
-    graph.graph[_ADJM_KEY] = mat
-    return mat
+
+    def build() -> np.ndarray:
+        adj = _sorted_adjacency(graph)
+        n = graph.number_of_nodes()
+        width = max(len(row) for row in adj)
+        mat = np.empty((n, width), dtype=np.int32)
+        for v, row in enumerate(adj):
+            mat[v, : len(row)] = row
+            mat[v, len(row) :] = v
+        return mat
+
+    return _cached_table(graph, _ADJM_KEY, build)
 
 
 def initial_layout(circuit: Circuit, graph: nx.Graph) -> dict[int, int]:

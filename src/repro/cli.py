@@ -135,6 +135,18 @@ def _cache_parent(opt_in: bool, jobs_help: str | None = None) -> argparse.Argume
     return p
 
 
+def _arch_parent() -> argparse.ArgumentParser:
+    """--arch/--arch-weight for the hatt-arch construction kind."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--arch", default=None, metavar="NAME",
+                   help="coupling graph for hatt-arch construction "
+                        "(manhattan, montreal, sycamore, ionq_forte)")
+    p.add_argument("--arch-weight", type=float, default=None, metavar="W",
+                   help="hatt-arch distance-penalty blend (>= 0; "
+                        "default: the construction default)")
+    return p
+
+
 def _resolve_backends(args: argparse.Namespace) -> BackendConfig:
     """Merge ``--backend`` with any deprecated per-subsystem aliases."""
     base = (
@@ -164,11 +176,34 @@ def _make_service(cache_dir: str | None) -> MappingService | None:
 
 
 def _prewarm(args: argparse.Namespace, cache_dir: str | None,
-             cases: list[str], kinds: list[str], hatt_backend: str) -> None:
+             cases: list[str], kinds: list[str], hatt_backend: str,
+             arch: str | None = None, arch_weight: float | None = None) -> None:
     """Fan the compiles of an impending serial step across worker processes."""
     if args.jobs > 1 and cache_dir is not None:
         compile_suite(cases, kinds, jobs=args.jobs, cache_dir=cache_dir,
-                      hatt_backend=hatt_backend, evaluate=False)
+                      hatt_backend=hatt_backend, evaluate=False,
+                      arch=arch, arch_weight=arch_weight)
+
+
+def _check_arch_flags(prog: str, args: argparse.Namespace,
+                      wants_arch: bool) -> str | None:
+    """Validate the --arch/--arch-weight pairing; returns an error or None.
+
+    ``wants_arch`` — whether any requested mapping kind is ``hatt-arch``
+    (the only kind these flags configure).
+    """
+    from .compile import ARCHITECTURES
+
+    arch = getattr(args, "arch", None)
+    if wants_arch and arch is None:
+        return f"{prog}: error: hatt-arch needs --arch (one of " \
+               f"{', '.join(ARCHITECTURES)})"
+    if arch is not None and arch not in ARCHITECTURES:
+        return f"{prog}: error: unknown --arch {arch!r} " \
+               f"(choose from {', '.join(ARCHITECTURES)})"
+    if args.arch_weight is not None and not wants_arch:
+        return f"{prog}: error: --arch-weight only applies to hatt-arch"
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -177,12 +212,20 @@ def _prewarm(args: argparse.Namespace, cache_dir: str | None,
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis.pipeline import COMPARE_KINDS
 
+    error = _check_arch_flags("repro compare", args,
+                              wants_arch=args.arch is not None)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     h = load_case(args.case)
     n = h.n_modes
     backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
     kinds = list(COMPARE_KINDS.values()) + (["hatt-unopt"] if args.unopt else [])
-    _prewarm(args, cache_dir, [args.case], kinds, backends.hatt)
+    if args.arch is not None:
+        kinds.append("hatt-arch")
+    _prewarm(args, cache_dir, [args.case], kinds, backends.hatt,
+             arch=args.arch, arch_weight=args.arch_weight)
     service = _make_service(cache_dir)
     reports = compare_mappings(
         h,
@@ -191,6 +234,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         include_unopt=args.unopt,
         service=service,
         backends=backends,
+        arch=args.arch,
+        arch_weight=args.arch_weight,
     )
     if args.json:
         result = {
@@ -215,14 +260,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 # map
 # ----------------------------------------------------------------------
 def _cmd_map(args: argparse.Namespace) -> int:
+    is_arch = args.mapping == "hatt-arch"
+    error = _check_arch_flags("repro map", args, wants_arch=is_arch)
+    if error is None and not is_arch and args.arch is not None:
+        error = "repro map: error: --arch only applies to --mapping hatt-arch"
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     h = load_case(args.case)
     n = h.n_modes
     backends = _resolve_backends(args)
-    spec = MappingSpec(kind=args.mapping, n_modes=n, hatt_backend=backends.hatt)
+    spec = MappingSpec(
+        kind=args.mapping,
+        n_modes=n,
+        hatt_backend=backends.hatt,
+        arch=args.arch if is_arch else None,
+        arch_weight=args.arch_weight if is_arch else None,
+    )
     cache_dir = _resolve_cache_dir(args, opt_in=True)
     # One task, so --jobs adds no parallelism here, but routing it through
     # the orchestrator keeps the flag honest (and warms the shared cache).
-    _prewarm(args, cache_dir, [args.case], [args.mapping], backends.hatt)
+    _prewarm(args, cache_dir, [args.case], [args.mapping], backends.hatt,
+             arch=args.arch, arch_weight=args.arch_weight)
     service = _make_service(cache_dir)
     fingerprint = source = None
     if service is not None:
@@ -289,10 +348,20 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.arch_weight is not None and "hatt-arch" not in kinds:
+        print("repro compile: error: --arch-weight only applies when "
+              "--mappings includes hatt-arch", file=sys.stderr)
+        return 2
     h = load_case(args.case)
     backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
-    _prewarm(args, cache_dir, [args.case], list(kinds), backends.hatt)
+    # hatt-arch mappings are per-architecture; the mapping prewarm can only
+    # target one graph, so it covers that kind only on single-arch runs
+    # (the sweep itself fills the cache for the rest).
+    prewarm_kinds = [k for k in kinds if k != "hatt-arch" or len(archs) == 1]
+    _prewarm(args, cache_dir, [args.case], prewarm_kinds, backends.hatt,
+             arch=archs[0] if len(archs) == 1 else None,
+             arch_weight=args.arch_weight)
     service = _make_service(cache_dir)
     opt_kwargs = {"term_order": args.order}
     if args.lookahead is not None:
@@ -301,6 +370,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         service=service,
         options=CompileOptions(**opt_kwargs),
         backends=backends,
+        arch_weight=args.arch_weight,
     )
     report = pipeline.sweep(h, kinds=kinds, architectures=archs, case=args.case)
     if args.json:
@@ -330,6 +400,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    error = _check_arch_flags("repro batch", args,
+                              wants_arch="hatt-arch" in kinds)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=False)
     progress = None
@@ -347,6 +422,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         hatt_backend=backends.hatt,
         evaluate=not args.no_eval,
         progress=progress,
+        arch=args.arch,
+        arch_weight=args.arch_weight,
     )
     content = (
         json.dumps(envelope("batch", report.to_dict()), indent=2, sort_keys=True)
@@ -528,10 +605,11 @@ def build_parser() -> argparse.ArgumentParser:
     engine_router_parent = _engine_parent(router=True)
     cache_opt_in = _cache_parent(opt_in=True)
     cache_default = _cache_parent(opt_in=False)
+    arch_parent = _arch_parent()
 
     p_compare = sub.add_parser(
         "compare", help="evaluate all mappings on a case",
-        parents=[json_parent, engine_parent, cache_opt_in],
+        parents=[json_parent, engine_parent, cache_opt_in, arch_parent],
     )
     p_compare.add_argument("case", help="e.g. H2_sto3g, hubbard:2x3, neutrino:3x2F")
     p_compare.add_argument("--no-circuit", action="store_true",
@@ -542,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_map = sub.add_parser(
         "map", help="compile one mapping",
-        parents=[json_parent, engine_parent, cache_opt_in],
+        parents=[json_parent, engine_parent, cache_opt_in, arch_parent],
     )
     p_map.add_argument("case")
     p_map.add_argument("--mapping", choices=sorted(MAPPING_KINDS),
@@ -569,12 +647,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--lookahead", type=int, default=None,
                            metavar="N", help="router lookahead horizon "
                            "(default: the router's deep-window default)")
+    p_compile.add_argument("--arch-weight", type=float, default=None, metavar="W",
+                           help="hatt-arch distance-penalty blend (>= 0; only "
+                                "with --mappings including hatt-arch)")
     p_compile.set_defaults(func=_cmd_compile)
 
     p_batch = sub.add_parser(
         "batch",
         help="compile a suite of cases × mappings through the service",
-        parents=[json_parent, engine_parent, cache_default],
+        parents=[json_parent, engine_parent, cache_default, arch_parent],
     )
     p_batch.add_argument("cases", nargs="+",
                          help="case specs (see `repro cases`)")

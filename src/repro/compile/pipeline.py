@@ -247,6 +247,10 @@ class CompilationPipeline:
         when given it wins over ``hatt_backend`` and over the options'
         ``router_backend`` — artifacts are identical either way, only
         compile/route wall time differs.
+    arch_weight:
+        Distance-penalty blend forwarded to any ``hatt-arch`` compile; the
+        target architecture itself comes from ``compile_one``'s ``arch``
+        (the tree is grown against the same graph it is routed onto).
     """
 
     def __init__(
@@ -255,10 +259,12 @@ class CompilationPipeline:
         options: CompileOptions | None = None,
         hatt_backend: str = "vector",
         backends: BackendConfig | None = None,
+        arch_weight: float | None = None,
     ):
         self.service = service
         self.options = options if options is not None else CompileOptions()
         self.hatt_backend = hatt_backend
+        self.arch_weight = arch_weight
         if backends is not None:
             self.hatt_backend = backends.hatt
             self.options = replace(self.options, router_backend=backends.router)
@@ -291,11 +297,18 @@ class CompilationPipeline:
         arch: str,
         n_modes: int | None = None,
     ) -> RoutedMetrics:
-        """Metrics for one mapping kind routed onto one architecture."""
+        """Metrics for one mapping kind routed onto one architecture.
+
+        For ``hatt-arch`` the routing architecture doubles as the
+        construction target, so the mapping fingerprint — and hence the
+        ``mappings/v1`` entry — is distinct per architecture.
+        """
         spec = MappingSpec(
             kind=kind,
             n_modes=n_modes if n_modes is not None else hamiltonian.n_modes,
             hatt_backend=self.hatt_backend,
+            arch=arch if kind == "hatt-arch" else None,
+            arch_weight=self.arch_weight if kind == "hatt-arch" else None,
         )
         mapping, mapping_fp = self._mapping(hamiltonian, spec)
         fp = circuit_fingerprint(
@@ -348,9 +361,41 @@ class CompilationPipeline:
             fingerprint=fp,
         )
         self.stats["routed"] += 1
+        if kind == "hatt-arch":
+            metrics = self._arch_guard(hamiltonian, metrics, arch, spec.n_modes)
         if store is not None:
             store.put_circuit_report(fp, metrics.artifact())
         return metrics
+
+    def _arch_guard(
+        self,
+        hamiltonian: FermionOperator | MajoranaOperator,
+        candidate: RoutedMetrics,
+        arch: str,
+        n_modes: int,
+    ) -> RoutedMetrics:
+        """Portfolio guard (the Treespilation pattern): a ``hatt-arch`` row
+        never routes worse than plain HATT on the same architecture.
+
+        The biased tree is reported only when it is ≤ the plain tree on both
+        routed CNOTs and depth; otherwise the plain tree's routed numbers are
+        reported — and cached — under the ``hatt-arch`` circuit fingerprint,
+        with the ``mapping`` column naming the tree that won.  The plain
+        baseline is itself cache-shared with any ``hatt`` row of the sweep,
+        so the guard costs at most one extra route per cold (case, arch).
+        """
+        baseline = self.compile_one(hamiltonian, "hatt", arch, n_modes=n_modes)
+        if (
+            candidate.routed_cx <= baseline.routed_cx
+            and candidate.routed_depth <= baseline.routed_depth
+        ):
+            return candidate
+        return replace(
+            baseline,
+            kind="hatt-arch",
+            fingerprint=candidate.fingerprint,
+            source="computed",
+        )
 
     def sweep(
         self,
@@ -376,6 +421,7 @@ class CompilationPipeline:
             service=self.service,
             options=replace(self.options, **overrides),
             hatt_backend=self.hatt_backend,
+            arch_weight=self.arch_weight,
         )
         clone._graphs = self._graphs
         return clone

@@ -1,7 +1,9 @@
 """HATT: Hamiltonian-Adaptive Ternary Tree construction (the paper's core)."""
 
 from .construction import (
+    ARCH_WEIGHT_SCALE,
     BACKENDS,
+    DEFAULT_ARCH_WEIGHT,
     DEFAULT_MEMORY_BUDGET,
     HattConstruction,
     Selection,
@@ -14,4 +16,6 @@ __all__ = [
     "hatt_mapping",
     "BACKENDS",
     "DEFAULT_MEMORY_BUDGET",
+    "ARCH_WEIGHT_SCALE",
+    "DEFAULT_ARCH_WEIGHT",
 ]

@@ -32,6 +32,25 @@ Vacuum-preserving pairing (Algorithm 2) restricts the search to ordered
 ``mdown``/``mup`` (Algorithm 3); pass ``cached=False`` to use the explicit
 tree traversals of Algorithm 2 instead of the O(1) maps.
 
+Architecture-adaptive construction (``hatt-arch``)
+--------------------------------------------------
+Passing a coupling graph grows the tree *against* the hardware (the
+Bonsai/Treespilation direction): every internal node is greedily anchored to
+a physical qubit as it is created, and candidate selection minimizes the
+blended integer score ``SCALE·weight + round(arch_weight·SCALE)·penalty``
+with ``SCALE = 64`` and ``penalty(A,B,C)`` the sum over anchored child pairs
+of ``max(dist − 1, 0)`` from the cached all-pairs
+:func:`~repro.circuits.routing.distance_matrix`.  Adjacent anchors are free
+(the ``− 1``), so an all-to-all graph — and any ``arch_weight`` on it —
+reproduces the plain HATT tree exactly; ``arch_weight = 0`` likewise reduces
+to plain HATT on *any* graph, because ``64·w`` preserves the plain ordering
+and tie-breaks bit for bit.  Anchors assign deterministically: the first
+internal node takes the highest-degree free physical qubit (ties toward the
+lowest node id, matching the router's ``initial_layout`` rank) and each
+later parent takes the free physical qubit minimizing the summed distance
+to its already-anchored children.  Both backends share the anchor state and
+penalty table, so scalar and vector stay bit-identical in this mode too.
+
 Construction backends
 ---------------------
 ``backend="vector"`` (default) stores the per-node masks as an
@@ -69,6 +88,7 @@ free scan, whose measured slope already matches the predicted N⁴.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 import numpy as np
@@ -84,6 +104,8 @@ __all__ = [
     "Selection",
     "BACKENDS",
     "DEFAULT_MEMORY_BUDGET",
+    "ARCH_WEIGHT_SCALE",
+    "DEFAULT_ARCH_WEIGHT",
 ]
 
 #: One construction step: (qubit, (uid_X, uid_Y, uid_Z), weight_on_qubit).
@@ -94,6 +116,16 @@ BACKENDS = ("vector", "scalar")
 
 #: Default cap on the vector backend's intermediate candidate-grid arrays.
 DEFAULT_MEMORY_BUDGET = 128 * 1024 * 1024
+
+#: Fixed-point grid for the architecture blend: candidate scores are the
+#: integers ``ARCH_WEIGHT_SCALE·weight + round(arch_weight·SCALE)·penalty``,
+#: so both backends compare identically and ``arch_weight`` is effectively
+#: quantized to multiples of ``1/ARCH_WEIGHT_SCALE``.
+ARCH_WEIGHT_SCALE = 64
+
+#: Default distance-penalty blend when a coupling graph is supplied (the
+#: Table IV bench sweep's best-measured setting).
+DEFAULT_ARCH_WEIGHT = 0.5
 
 #: Sentinel weight for masked-out candidates in the broadcast kernels.
 _INF = np.iinfo(np.int64).max
@@ -123,6 +155,17 @@ class HattConstruction:
     memory_budget:
         Approximate byte cap on the vector backend's per-step intermediate
         arrays; large candidate grids are chunked to stay under it.
+    graph:
+        Optional hardware coupling graph (``networkx`` graph with integer
+        nodes ``0..n-1``, e.g. from :mod:`repro.circuits.architectures`).
+        When given, candidate selection blends a routed-distance penalty
+        into the Pauli-weight objective (the ``hatt-arch`` mode; see the
+        module docstring).  Requires ``n_modes`` ≤ the graph's qubit count.
+    arch_weight:
+        Blend strength for the distance penalty, quantized to the
+        ``1/ARCH_WEIGHT_SCALE`` grid; ``0`` reduces exactly to plain HATT.
+        Only meaningful with ``graph``; defaults to
+        :data:`DEFAULT_ARCH_WEIGHT`.
     """
 
     def __init__(
@@ -133,6 +176,8 @@ class HattConstruction:
         cached: bool = True,
         backend: str = "vector",
         memory_budget: int | None = None,
+        graph=None,
+        arch_weight: float | None = None,
     ):
         if n_modes < 1:
             raise ValueError("need at least one fermionic mode")
@@ -164,6 +209,7 @@ class HattConstruction:
             self._init_vector(n_leaves)
         else:
             self._init_scalar(n_leaves)
+        self._init_arch(graph, arch_weight)
 
     # ------------------------------------------------------------------
     # Backend state initialization
@@ -219,12 +265,93 @@ class HattConstruction:
         self._parent = np.full(n_total, -1, dtype=np.intp)
         self._child_z = np.full(n_total, -1, dtype=np.intp)
 
+    def _init_arch(self, graph, arch_weight: float | None) -> None:
+        if graph is None:
+            if arch_weight is not None:
+                raise ValueError("arch_weight requires a coupling graph")
+            self._arch = False
+            self.graph = None
+            self.arch_weight = None
+            self._aw_int = 0
+            return
+        # Deferred import keeps the plain construction path free of the
+        # circuits/networkx dependency.
+        from ..circuits.routing import distance_matrix
+
+        n_phys = graph.number_of_nodes()
+        if self.n > n_phys:
+            raise ValueError(
+                f"coupling graph has {n_phys} qubits but the tree needs {self.n}"
+            )
+        aw = DEFAULT_ARCH_WEIGHT if arch_weight is None else float(arch_weight)
+        if not math.isfinite(aw) or aw < 0:
+            raise ValueError(
+                f"arch_weight must be finite and >= 0, got {arch_weight!r}"
+            )
+        self._arch = True
+        self.graph = graph
+        self._aw_int = int(round(aw * ARCH_WEIGHT_SCALE))
+        self.arch_weight = self._aw_int / ARCH_WEIGHT_SCALE
+        dist = distance_matrix(graph)  # validates 0..n-1 labels, connectivity
+        # Penalty table with a trailing all-zero sentinel row/column: anchor
+        # -1 (unanchored — every leaf) indexes the sentinel, contributing
+        # nothing; the ``- 1`` makes *adjacent* anchors free, so all-to-all
+        # graphs reduce exactly to plain HATT.
+        pen = np.zeros((n_phys + 1, n_phys + 1), dtype=np.int64)
+        pen[:n_phys, :n_phys] = np.maximum(dist.astype(np.int64) - 1, 0)
+        self._pen = pen
+        self._pen_list: list[list[int]] = pen.tolist()
+        self._dist_list: list[list[int]] = dist.tolist()
+        # Anchor placement rank: high degree first, node id breaking ties —
+        # the same preference the router's initial_layout uses.
+        self._free_rank = sorted(graph.nodes, key=lambda v: (-graph.degree[v], v))
+        self._phys_used = [False] * n_phys
+        self._anchor = [-1] * (self._n_leaves + self.n)
+
     # ------------------------------------------------------------------
     # Weight oracle (scalar)
     # ------------------------------------------------------------------
     def _weight_on_qubit(self, a: int, b: int, c: int) -> int:
         ma, mb, mc = self.masks[a], self.masks[b], self.masks[c]
         return ((ma | mb | mc) & ~(ma & mb & mc)).bit_count()
+
+    # ------------------------------------------------------------------
+    # Architecture penalty + anchor bookkeeping (backend-shared)
+    # ------------------------------------------------------------------
+    def _penalty3(self, a: int, b: int, c: int) -> int:
+        """Summed pairwise anchor penalty of a candidate triple; anchor -1
+        indexes the zero sentinel row, so unanchored nodes contribute 0."""
+        anc = self._anchor
+        pen = self._pen_list
+        pa, pb, pc = anc[a], anc[b], anc[c]
+        return pen[pa][pb] + pen[pa][pc] + pen[pb][pc]
+
+    def _assign_anchor(self, parent_uid: int, children: tuple[int, int, int]) -> None:
+        """Greedily pin the new internal node to a free physical qubit:
+        closest (by summed distance) to its already-anchored children, or the
+        highest-rank free node when all children are leaves.  Deterministic
+        (rank order breaks all ties) and shared by both backends."""
+        anchors = [self._anchor[u] for u in children if self._anchor[u] >= 0]
+        dist = self._dist_list
+        best = None
+        if anchors:
+            best_d = None
+            for p in self._free_rank:
+                if self._phys_used[p]:
+                    continue
+                total = 0
+                for q in anchors:
+                    total += dist[p][q]
+                if best_d is None or total < best_d:
+                    best_d, best = total, p
+        else:
+            for p in self._free_rank:
+                if not self._phys_used[p]:
+                    best = p
+                    break
+        assert best is not None  # n internal nodes <= n_phys (validated)
+        self._phys_used[best] = True
+        self._anchor[parent_uid] = best
 
     # ------------------------------------------------------------------
     # Z-descendant lookups (Algorithm 3 vs explicit traversal)
@@ -265,14 +392,20 @@ class HattConstruction:
     # ------------------------------------------------------------------
     def _select_free(self, qubit: int) -> tuple[tuple[int, int, int], int]:
         """Algorithm 1: scan unordered triples (weight is symmetric in the
-        children, so combinations suffice — the X/Y/Z roles follow U order)."""
+        children, so combinations suffice — the X/Y/Z roles follow U order).
+        In arch mode the scan key is the blended integer score; without a
+        graph the score *is* the weight, so plain behaviour is untouched."""
+        arch = self._arch
+        aw = self._aw_int
         best: tuple[int, int, int] | None = None
         best_w = None
+        best_s = None
         for a, b, c in combinations(self.working, 3):
             w = self._weight_on_qubit(a, b, c)
-            if best_w is None or w < best_w:
-                best_w, best = w, (a, b, c)
-                if w == 0:
+            s = ARCH_WEIGHT_SCALE * w + aw * self._penalty3(a, b, c) if arch else w
+            if best_s is None or s < best_s:
+                best_s, best_w, best = s, w, (a, b, c)
+                if s == 0:
                     break
         assert best is not None and best_w is not None
         return best, best_w
@@ -280,8 +413,11 @@ class HattConstruction:
     def _select_paired(self, qubit: int) -> tuple[tuple[int, int, int], int]:
         """Algorithm 2: pick (O_X, O_Z); O_Y is forced by leaf pairing."""
         last_leaf = 2 * self.n
+        arch = self._arch
+        aw = self._aw_int
         best: tuple[int, int, int] | None = None
         best_w = None
+        best_s = None
         for ox in self.working:
             x_leaf = self._desc_z(ox)
             if x_leaf == last_leaf:
@@ -297,12 +433,17 @@ class HattConstruction:
                 if oz == ox or oz == oy:
                     continue
                 w = self._weight_on_qubit(cx, cy, oz)
-                if best_w is None or w < best_w:
-                    best_w, best = w, (cx, cy, oz)
-                    if w == 0:
+                s = (
+                    ARCH_WEIGHT_SCALE * w + aw * self._penalty3(cx, cy, oz)
+                    if arch
+                    else w
+                )
+                if best_s is None or s < best_s:
+                    best_s, best_w, best = s, w, (cx, cy, oz)
+                    if s == 0:
                         break
-            if best_w == 0:
-                # Weight can't go below zero; the first zero-weight candidate
+            if best_s == 0:
+                # Scores can't go below zero; the first zero-score candidate
                 # in scan order is final, so skip the remaining evaluation.
                 break
         if best is None or best_w is None:
@@ -345,6 +486,11 @@ class HattConstruction:
         rows = self._rows[uids]
         n_words = rows.shape[1]
         acc_dtype = self._acc_dtype(n_words)
+        arch = self._arch
+        if arch:
+            anc = np.array(self._anchor, dtype=np.intp)[uids]
+            pen = self._pen
+            aw_int = self._aw_int
         # Per-word flat columns: every kernel pass stays 1-D, so popcounts
         # are plain uint8 vectors accumulated across words instead of a
         # (candidates, n_words) reduction.
@@ -353,13 +499,15 @@ class HattConstruction:
         # Pairs with b == 0 admit no a < b.
         has_a = b_all > 0
         b_all, c_all = b_all[has_a], c_all[has_a]
-        # ~ (3 flat word temps per word pass + index/weight vectors) per
-        # candidate; a pair contributes at most m candidates.  Each pair
-        # belongs to exactly one chunk, so the per-chunk OR/AND pair grids
-        # below cost no extra compute and keep peak memory under the budget.
-        per_pair = m * (3 * n_words + 4) * 8
+        # ~ (3 flat word temps per word pass + index/weight vectors, plus the
+        # int64 score/penalty temps in arch mode) per candidate; a pair
+        # contributes at most m candidates.  Each pair belongs to exactly one
+        # chunk, so the per-chunk OR/AND pair grids below cost no extra
+        # compute and keep peak memory under the budget.
+        per_pair = m * (3 * n_words + 4 + (6 if arch else 0)) * 8
         chunk = max(1, self.memory_budget // per_pair)
-        best_w = _INF
+        best_w = None
+        best_s = _INF
         best_key = None
         best: tuple[int, int, int] | None = None
         m2 = m * m
@@ -383,26 +531,39 @@ class HattConstruction:
                     w = wk if n_words == 1 else wk.astype(acc_dtype)
                 else:
                     w += wk
-            w_min = int(w.min())
-            if w_min < best_w or (best_key is not None and w_min == best_w):
-                sel = np.flatnonzero(w == w_min)
+            if arch:
+                # Blended integer score; the per-pair (b, c) penalty is
+                # computed once per pair and broadcast over the a's.
+                pen_b = pen[anc[b_chunk], anc[c_chunk]]
+                s = w.astype(np.int64) * ARCH_WEIGHT_SCALE + aw_int * (
+                    pen[anc[a], anc[b_chunk][pair]]
+                    + pen[anc[a], anc[c_chunk][pair]]
+                    + pen_b[pair]
+                )
+            else:
+                s = w
+            s_min = int(s.min())
+            if s_min < best_s or (best_key is not None and s_min == best_s):
+                sel = np.flatnonzero(s == s_min)
                 keys = a[sel] * m2 + b_chunk[pair[sel]] * m + c_chunk[pair[sel]]
-                k = int(keys.min())
-                if w_min < best_w or k < best_key:
-                    best_w = w_min
+                j = int(np.argmin(keys))
+                k = int(keys[j])
+                if s_min < best_s or k < best_key:
+                    best_s = s_min
                     best_key = k
+                    best_w = int(w[sel[j]])
                     best = (
                         int(uids[k // m2]),
                         int(uids[(k // m) % m]),
                         int(uids[k % m]),
                     )
-            if best_w == 0 and p1 < len(b_all):
-                # Weight floor reached; remaining chunks hold pairs that are
+            if best_s == 0 and p1 < len(b_all):
+                # Score floor reached; remaining chunks hold pairs that are
                 # lexicographically later, so their candidate keys all exceed
                 # best_key once the pair prefix alone does — safe to stop.
                 if best_key < int(b_all[p1]) * m + int(c_all[p1]):
                     break
-        assert best is not None
+        assert best is not None and best_w is not None
         return best, best_w
 
     def _select_paired_vector(self, qubit: int) -> tuple[tuple[int, int, int], int]:
@@ -444,6 +605,15 @@ class HattConstruction:
         cy = np.where(even, oy_r, ox_r)
         n_words = self._rows.shape[1]
         acc_dtype = self._acc_dtype(n_words)
+        arch = self._arch
+        if arch:
+            anc_all = np.array(self._anchor, dtype=np.intp)
+            anc_x = anc_all[cx]
+            anc_y = anc_all[cy]
+            anc_z = anc_all[uids]
+            pen = self._pen
+            aw_int = self._aw_int
+            pen_xy = pen[anc_x, anc_y]
         # Per-word flat precomputations; see _select_free_vector.
         cols = [self._rows[:, k] for k in range(n_words)]
         pre_or = [(col[cx] | col[cy])[:, None] for col in cols]
@@ -452,9 +622,10 @@ class HattConstruction:
         # Weights on one word never exceed 64, so the dtype max is a safe
         # larger-than-any-weight sentinel for the masked candidates.
         bad = np.uint8(255) if n_words == 1 else acc_dtype(np.iinfo(acc_dtype).max)
-        per_row = m * (4 * n_words + 2) * 8
+        per_row = m * (4 * n_words + 2 + (6 if arch else 0)) * 8
         chunk = max(1, self.memory_budget // per_row)
-        best_w = _INF
+        best_w = None
+        best_s = _INF
         best: tuple[int, int, int] | None = None
         for r0 in range(0, len(r_idx), chunk):
             r1 = min(r0 + chunk, len(r_idx))
@@ -467,18 +638,32 @@ class HattConstruction:
                     w = wk if n_words == 1 else wk.astype(acc_dtype)
                 else:
                     w += wk
-            w[(uids[None, :] == ox_r[r0:r1, None])
-              | (uids[None, :] == oy_r[r0:r1, None])] = bad
-            flat = int(np.argmin(w))
-            w_min = int(w.reshape(-1)[flat])
-            if w_min < best_w:
-                lr, j = np.unravel_index(flat, w.shape)
+            mask = (uids[None, :] == ox_r[r0:r1, None]) | (
+                uids[None, :] == oy_r[r0:r1, None]
+            )
+            if arch:
+                # Blended score grid; w stays unmasked so the winner's pure
+                # Pauli weight can be read back for the trace.
+                s = w.astype(np.int64) * ARCH_WEIGHT_SCALE + aw_int * (
+                    pen_xy[r0:r1, None]
+                    + pen[anc_x[r0:r1, None], anc_z[None, :]]
+                    + pen[anc_y[r0:r1, None], anc_z[None, :]]
+                )
+                s[mask] = _INF
+            else:
+                w[mask] = bad
+                s = w
+            flat = int(np.argmin(s))
+            s_min = int(s.reshape(-1)[flat])
+            if s_min < best_s:
+                lr, j = np.unravel_index(flat, s.shape)
                 r = r0 + int(lr)
-                best_w = w_min
+                best_s = s_min
+                best_w = int(w[int(lr), int(j)])
                 best = (int(cx[r]), int(cy[r]), int(uids[j]))
-            if best_w == 0:
+            if best_s == 0:
                 break
-        assert best is not None
+        assert best is not None and best_w is not None
         return best, best_w
 
     # ------------------------------------------------------------------
@@ -490,6 +675,9 @@ class HattConstruction:
             self._reduce_vector(children)
         else:
             self._reduce_scalar(qubit, children)
+        if self._arch:
+            # Both backends number the new parent n_leaves + qubit.
+            self._assign_anchor(self._n_leaves + qubit, children)
 
     def _reduce_scalar(self, qubit: int, children: tuple[int, int, int]) -> None:
         cx, cy, cz = children
@@ -592,13 +780,16 @@ def hatt_mapping(
     cached: bool = True,
     backend: str = "vector",
     memory_budget: int | None = None,
+    graph=None,
+    arch_weight: float | None = None,
 ) -> FermionQubitMapping:
     """Compile a Hamiltonian-adaptive ternary-tree fermion-to-qubit mapping.
 
-    Parameters mirror :class:`HattConstruction`.  Returns a
-    :class:`~repro.mappings.FermionQubitMapping` whose string ``S_i`` is
-    assigned to Majorana ``M_i`` (leaf ``i`` of the constructed tree); the
-    tree itself is attached as ``mapping.tree``.
+    Parameters mirror :class:`HattConstruction`; passing ``graph`` selects
+    the architecture-adaptive ``hatt-arch`` mode (see the module docstring).
+    Returns a :class:`~repro.mappings.FermionQubitMapping` whose string
+    ``S_i`` is assigned to Majorana ``M_i`` (leaf ``i`` of the constructed
+    tree); the tree itself is attached as ``mapping.tree``.
     """
     majorana = _to_majorana(hamiltonian)
     if n_modes is None:
@@ -610,10 +801,13 @@ def hatt_mapping(
         cached=cached,
         backend=backend,
         memory_budget=memory_budget,
+        graph=graph,
+        arch_weight=arch_weight,
     )
     tree = construction.run()
     strings = tree.strings_by_leaf_index()
-    name = "HATT" if vacuum else "HATT-unopt"
+    base = "HATT-arch" if graph is not None else "HATT"
+    name = base if vacuum else base + "-unopt"
     mapping = FermionQubitMapping(strings[:-1], name=name, discarded=strings[-1])
     mapping.tree = tree
     mapping.construction = construction

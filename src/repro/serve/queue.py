@@ -69,7 +69,10 @@ def _run_request(request: CompileRequest, service: MappingService) -> dict:
     from ..compile import CompilationPipeline
 
     pipeline = CompilationPipeline(
-        service=service, options=request.options(), hatt_backend=request.hatt_backend
+        service=service,
+        options=request.options(),
+        hatt_backend=request.hatt_backend,
+        arch_weight=request.arch_weight,
     )
     metrics = pipeline.compile_one(h, request.kind, request.arch)
     return {
@@ -138,6 +141,8 @@ class JobQueue:
         self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
         self._futures: dict[str, Future] = {}
         self._by_key: dict[str, str] = {}
+        #: job id → count of live waiters; pinned records survive trimming.
+        self._pins: dict[str, int] = {}
         self._ids = itertools.count(1)
         self.max_jobs = int(max_jobs)
         self._counters = {"submitted": 0, "coalesced": 0, "executed": 0, "errors": 0}
@@ -233,7 +238,10 @@ class JobQueue:
             if len(self._jobs) <= self.max_jobs:
                 break
             record = self._jobs[jid]
-            if record.done:
+            # A record is evictable only once finished AND unobserved: a
+            # pinned record still has a ``wait()``/``?wait=1`` client about
+            # to read it — evicting it would turn their poll into a 404.
+            if record.done and self._pins.get(jid, 0) == 0:
                 del self._jobs[jid]
                 self._futures.pop(jid, None)
 
@@ -256,19 +264,41 @@ class JobQueue:
         with self._lock:
             return self._futures.get(job_id)
 
+    def pin(self, job_id: str) -> None:
+        """Shield a record from retention trimming while a waiter holds it."""
+        with self._lock:
+            self._pins[job_id] = self._pins.get(job_id, 0) + 1
+
+    def unpin(self, job_id: str) -> None:
+        """Release one :meth:`pin`; the record becomes evictable at zero."""
+        with self._lock:
+            count = self._pins.get(job_id, 0) - 1
+            if count > 0:
+                self._pins[job_id] = count
+            else:
+                self._pins.pop(job_id, None)
+
     def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
-        """Block until the job settles (or ``timeout``); returns its record."""
-        future = self.future(job_id)
-        if future is None:
-            record = self.get(job_id)
-            if record is None:
-                raise KeyError(f"unknown job {job_id!r}")
-            return record
+        """Block until the job settles (or ``timeout``); returns its record.
+
+        The record is pinned for the duration, so a burst of submissions
+        trimming the completed-job table cannot evict it mid-wait.
+        """
+        self.pin(job_id)
         try:
-            future.exception(timeout)
-        except TimeoutError:
-            pass
-        return self.get(job_id)
+            future = self.future(job_id)
+            if future is None:
+                record = self.get(job_id)
+                if record is None:
+                    raise KeyError(f"unknown job {job_id!r}")
+                return record
+            try:
+                future.exception(timeout)
+            except TimeoutError:
+                pass
+            return self.get(job_id)
+        finally:
+            self.unpin(job_id)
 
     # ------------------------------------------------------------------
     # Introspection and shutdown

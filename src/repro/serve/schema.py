@@ -28,6 +28,7 @@ edge instead of silently changing the request.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields, replace
 
 from ..circuits.evolution import TERM_ORDERS
@@ -74,20 +75,28 @@ class CompileRequest:
     ``hatt_backend`` / ``router_backend`` are engine *hints*: they select
     between bit-identical kernels, so they are excluded from
     :meth:`coalesce_key` (and from the underlying cache fingerprints).
-    ``arch``/``term_order``/``lookahead`` only apply to ``job="compile"``.
+    ``term_order``/``lookahead`` only apply to ``job="compile"``.  ``arch``
+    names the routing target for ``compile`` jobs and — for
+    ``kind="hatt-arch"`` only — the coupling graph the tree is grown
+    against, so ``map`` jobs accept it exactly when the kind is
+    architecture-adaptive.  ``arch_weight`` tunes that kind's distance
+    blend and is rejected for every other kind.
     """
 
     case: str
     job: str = "map"
     kind: str = "hatt"
     arch: str | None = None
+    arch_weight: float | None = None
     term_order: str = "mutual"
     lookahead: int | None = None
     hatt_backend: str = "vector"
     router_backend: str = "vector"
 
     #: Fields that identify the *work* (everything but the engine hints).
-    _KEY_FIELDS = ("job", "case", "kind", "arch", "term_order", "lookahead")
+    _KEY_FIELDS = (
+        "job", "case", "kind", "arch", "arch_weight", "term_order", "lookahead"
+    )
 
     def __post_init__(self):
         if not self.case or not isinstance(self.case, str):
@@ -116,19 +125,39 @@ class CompileRequest:
             not isinstance(self.lookahead, int) or self.lookahead < 1
         ):
             raise ValueError(f"lookahead must be a positive int, got {self.lookahead!r}")
-        if self.job == "compile":
+        if self.job == "compile" or self.kind == "hatt-arch":
             if self.arch not in ARCHITECTURES:
+                need = "compile jobs" if self.job == "compile" else "hatt-arch requests"
                 raise ValueError(
-                    f"compile jobs need arch in {ARCHITECTURES}, got {self.arch!r}"
+                    f"{need} need arch in {ARCHITECTURES}, got {self.arch!r}"
                 )
         elif self.arch is not None:
-            raise ValueError("map jobs take no arch")
+            raise ValueError("map jobs take no arch (except kind='hatt-arch')")
+        if self.arch_weight is not None:
+            if self.kind != "hatt-arch":
+                raise ValueError("arch_weight only applies to kind='hatt-arch'")
+            if (
+                isinstance(self.arch_weight, bool)
+                or not isinstance(self.arch_weight, (int, float))
+                or not math.isfinite(self.arch_weight)
+                or self.arch_weight < 0
+            ):
+                raise ValueError(
+                    f"arch_weight must be a finite number >= 0, got {self.arch_weight!r}"
+                )
 
     # ------------------------------------------------------------------
     # Bridges into the compilation stack
     # ------------------------------------------------------------------
     def spec(self) -> MappingSpec:
         """The mapping-compile half of the request."""
+        if self.kind == "hatt-arch":
+            return MappingSpec(
+                kind=self.kind,
+                hatt_backend=self.hatt_backend,
+                arch=self.arch,
+                arch_weight=self.arch_weight,
+            )
         return MappingSpec(kind=self.kind, hatt_backend=self.hatt_backend)
 
     def options(self) -> CompileOptions:

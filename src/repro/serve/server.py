@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from urllib.parse import parse_qs, urlsplit
@@ -128,7 +129,19 @@ class CompileServer:
                     )
                     break
                 headers = await self._read_headers(reader)
-                body = await self._read_body(reader, headers)
+                try:
+                    body = await self._read_body(reader, headers)
+                except _BadRequest as exc:
+                    # The body was never consumed, so the connection state is
+                    # unknown: answer the error explicitly and close, rather
+                    # than letting the exception silently drop the socket.
+                    await self._respond(
+                        writer,
+                        exc.status,
+                        envelope("error", None, error=str(exc)),
+                        close=True,
+                    )
+                    break
                 close = headers.get("connection", "").lower() == "close"
                 try:
                     status, payload = await self._dispatch(method, target, body)
@@ -142,7 +155,7 @@ class CompileServer:
                 await self._respond(writer, status, payload, close=close)
                 if close:
                     break
-        except (asyncio.IncompleteReadError, ConnectionResetError, _BadRequest):
+        except (asyncio.IncompleteReadError, ConnectionResetError):
             pass
         finally:
             writer.close()
@@ -218,6 +231,42 @@ class CompileServer:
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
+    #: Accepted ``?wait=`` spellings; anything else is a client error.
+    _WAIT_FALSE = ("", "0", "false", "no")
+    _WAIT_TRUE = ("1", "true", "yes")
+
+    def _parse_wait_query(self, query: dict[str, str]) -> tuple[bool, float]:
+        """Validate ``?wait=``/``?timeout=`` *before* any work is enqueued.
+
+        Malformed values must never reach the queue (the job would already
+        be dispatched by the time the error surfaced) and must never escape
+        as a 500 — they are client errors, so they raise :class:`_BadRequest`
+        and come back as a 400 envelope.
+        """
+        wait_raw = query.get("wait", "").lower()
+        if wait_raw in self._WAIT_FALSE:
+            wait = False
+        elif wait_raw in self._WAIT_TRUE:
+            wait = True
+        else:
+            raise _BadRequest(
+                f"bad wait value {query.get('wait')!r}; expected one of "
+                f"{self._WAIT_TRUE + tuple(v for v in self._WAIT_FALSE if v)}"
+            )
+        timeout = self.wait_timeout
+        if "timeout" in query:
+            try:
+                timeout = float(query["timeout"])
+            except ValueError as exc:
+                raise _BadRequest(f"bad timeout: {exc}") from exc
+            if not math.isfinite(timeout) or timeout <= 0:
+                raise _BadRequest(
+                    f"timeout must be a positive number of seconds, "
+                    f"got {query['timeout']!r}"
+                )
+            timeout = min(timeout, self.wait_timeout)
+        return wait, timeout
+
     async def _post_job(self, body: bytes, query: dict[str, str]) -> tuple[int, dict]:
         try:
             doc = json.loads(body.decode("utf-8") or "null")
@@ -227,23 +276,27 @@ class CompileServer:
             request = CompileRequest.from_dict(doc)
         except ValueError as exc:
             raise _BadRequest(str(exc)) from exc
+        wait, timeout = self._parse_wait_query(query)
         record, coalesced = self.queue.submit(request)
-        wait = query.get("wait", "") not in ("", "0", "false")
         if wait:
+            # Pin while waiting: a submission burst may trim the completed
+            # table before we re-read the record, which would 404 this very
+            # client's follow-up.
+            self.queue.pin(record.id)
             try:
-                timeout = float(query.get("timeout", self.wait_timeout))
-            except ValueError as exc:
-                raise _BadRequest(f"bad timeout: {exc}") from exc
-            future = self.queue.future(record.id)
-            if future is not None:
-                try:
-                    await asyncio.wait_for(
-                        asyncio.shield(asyncio.wrap_future(future)), timeout
-                    )
-                except (asyncio.TimeoutError, Exception):  # noqa: B014 - job errors
-                    # surface through the record's status, not the transport.
-                    pass
-            record = self.queue.get(record.id) or record
+                future = self.queue.future(record.id)
+                if future is not None:
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(asyncio.wrap_future(future)), timeout
+                        )
+                    except (asyncio.TimeoutError, Exception):  # noqa: B014 - job
+                        # errors surface through the record's status, not the
+                        # transport.
+                        pass
+                record = self.queue.get(record.id) or record
+            finally:
+                self.queue.unpin(record.id)
         status = 200 if record.done else 202
         return status, envelope("jobs.submit", record.to_dict(), coalesced=coalesced)
 

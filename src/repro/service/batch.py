@@ -179,6 +179,17 @@ def expand_tasks(
     return out
 
 
+def _spec_for(
+    kind: str, hatt_backend: str, arch: str | None, arch_weight: float | None
+) -> MappingSpec:
+    """Per-kind spec builder: arch config attaches only to ``hatt-arch``."""
+    if kind == "hatt-arch":
+        return MappingSpec(
+            kind=kind, hatt_backend=hatt_backend, arch=arch, arch_weight=arch_weight
+        )
+    return MappingSpec(kind=kind, hatt_backend=hatt_backend)
+
+
 # ----------------------------------------------------------------------
 # Worker side (must stay module-level picklable)
 # ----------------------------------------------------------------------
@@ -189,9 +200,9 @@ def _compile_worker(args: tuple) -> tuple[str, dict | None, str, float, str | No
     the mapping travels back as its schema-v2 JSON document (plain dict, no
     custom pickling surface).
     """
-    h, kind, hatt_backend, cache_dir, use_disk, expected_fp = args
+    h, kind, hatt_backend, arch, arch_weight, cache_dir, use_disk, expected_fp = args
     try:
-        spec = MappingSpec(kind=kind, hatt_backend=hatt_backend)
+        spec = _spec_for(kind, hatt_backend, arch, arch_weight)
         service = MappingService(cache_dir=cache_dir, use_disk=use_disk)
         result = service.get_or_compile(h, spec)
         if result.fingerprint != expected_fp:  # pragma: no cover - sanity
@@ -214,7 +225,10 @@ def _compile_worker(args: tuple) -> tuple[str, dict | None, str, float, str | No
 # Orchestrator
 # ----------------------------------------------------------------------
 def _plan(
-    tasks: Iterable[BatchTask], hatt_backend: str
+    tasks: Iterable[BatchTask],
+    hatt_backend: str,
+    arch: str | None = None,
+    arch_weight: float | None = None,
 ) -> tuple[dict[str, FermionOperator], dict[str, list[BatchTask]], list[TaskResult]]:
     """Load cases, fingerprint every task, group tasks by fingerprint."""
     hams: dict[str, FermionOperator] = {}
@@ -235,8 +249,12 @@ def _plan(
         if h is None:
             errors.append(TaskResult(task.case, task.kind, error="case failed to load"))
             continue
-        spec = MappingSpec(kind=task.kind, hatt_backend=hatt_backend)
-        fp = fingerprint_request(h, spec)
+        try:
+            spec = _spec_for(task.kind, hatt_backend, arch, arch_weight)
+            fp = fingerprint_request(h, spec)
+        except ValueError as exc:  # e.g. hatt-arch without an arch
+            errors.append(TaskResult(task.case, task.kind, error=str(exc)))
+            continue
         by_fp.setdefault(fp, []).append(task)
     return hams, by_fp, errors
 
@@ -273,6 +291,8 @@ def iter_compile_suite(
     cache_dir: str | None = None,
     use_cache: bool = True,
     hatt_backend: str = "vector",
+    arch: str | None = None,
+    arch_weight: float | None = None,
     evaluate: bool = True,
 ) -> Iterator[TaskResult]:
     """Stream :class:`TaskResult`\\ s for a suite as compiles complete.
@@ -280,16 +300,17 @@ def iter_compile_suite(
     ``jobs > 1`` fans the *unique-fingerprint* compiles over a process pool;
     duplicate tasks ride along for free.  ``use_cache=False`` disables the
     disk store (each run recompiles; parallel dedup still applies).
+    ``arch``/``arch_weight`` configure any ``hatt-arch`` tasks in the suite.
     """
     tasks = expand_tasks(cases, kinds)
-    hams, by_fp, errors = _plan(tasks, hatt_backend)
+    hams, by_fp, errors = _plan(tasks, hatt_backend, arch, arch_weight)
     yield from errors
 
     if jobs <= 1 or len(by_fp) <= 1:
         service = MappingService(cache_dir=cache_dir, use_disk=use_cache)
         for fp, fp_tasks in by_fp.items():
             h = hams[fp_tasks[0].case]
-            spec = MappingSpec(kind=fp_tasks[0].kind, hatt_backend=hatt_backend)
+            spec = _spec_for(fp_tasks[0].kind, hatt_backend, arch, arch_weight)
             try:
                 result = service.get_or_compile(h, spec)
             except Exception as exc:  # noqa: BLE001 - keep the suite going
@@ -309,7 +330,7 @@ def iter_compile_suite(
             pool.submit(
                 _compile_worker,
                 (hams[fp_tasks[0].case], fp_tasks[0].kind, hatt_backend,
-                 cache_dir, use_cache, fp),
+                 arch, arch_weight, cache_dir, use_cache, fp),
             ): fp
             for fp, fp_tasks in by_fp.items()
         }
@@ -344,6 +365,8 @@ def compile_suite(
     cache_dir: str | None = None,
     use_cache: bool = True,
     hatt_backend: str = "vector",
+    arch: str | None = None,
+    arch_weight: float | None = None,
     evaluate: bool = True,
     progress=None,
 ) -> SuiteReport:
@@ -361,6 +384,8 @@ def compile_suite(
         cache_dir=cache_dir,
         use_cache=use_cache,
         hatt_backend=hatt_backend,
+        arch=arch,
+        arch_weight=arch_weight,
         evaluate=evaluate,
     ):
         report.tasks.append(result)

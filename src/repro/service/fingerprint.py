@@ -24,15 +24,23 @@ those invariances:
 Static (Hamiltonian-independent) mappings — JW/BK/BTT/parity — are keyed on
 ``(kind, n_modes)`` alone: the same JW table serves every 8-mode problem, so
 every 8-mode problem should hit the same artifact.
+
+The architecture-adaptive ``hatt-arch`` kind additionally keys on the
+coupling-graph name and the (grid-quantized) ``arch_weight`` blend: the same
+Hamiltonian compiled against two different architectures yields two distinct
+trees, so it must yield two distinct ``mappings/v1`` entries.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, replace
 
+from ..circuits.architectures import ARCHITECTURE_NAMES
 from ..fermion import FermionOperator, MajoranaOperator
+from ..hatt.construction import ARCH_WEIGHT_SCALE, DEFAULT_ARCH_WEIGHT
 
 __all__ = [
     "MappingSpec",
@@ -58,32 +66,50 @@ DEFAULT_TOLERANCE = 1e-12
 STATIC_KINDS = frozenset({"jw", "bk", "btt", "parity"})
 
 #: Mapping kinds whose output depends on the Hamiltonian's term content.
-ADAPTIVE_KINDS = frozenset({"hatt", "hatt-unopt"})
+ADAPTIVE_KINDS = frozenset({"hatt", "hatt-unopt", "hatt-arch"})
 
 #: All compile-able mapping kinds, in CLI display order.
-MAPPING_KINDS = ("jw", "bk", "btt", "parity", "hatt", "hatt-unopt")
+MAPPING_KINDS = ("jw", "bk", "btt", "parity", "hatt", "hatt-unopt", "hatt-arch")
 
 
 @dataclass(frozen=True)
 class MappingSpec:
     """A compile request's configuration half (the Hamiltonian is the other).
 
-    ``kind``/``n_modes`` are cache-key material; ``hatt_backend`` and
-    ``cached`` select equivalent construction engines and are deliberately
-    *not* (see module docstring).  ``n_modes=None`` means "infer from the
-    Hamiltonian" — call :meth:`resolve` before fingerprinting or compiling.
+    ``kind``/``n_modes`` are cache-key material — plus ``arch`` and the
+    quantized ``arch_weight`` for the architecture-adaptive ``hatt-arch``
+    kind; ``hatt_backend`` and ``cached`` select equivalent construction
+    engines and are deliberately *not* (see module docstring).
+    ``n_modes=None`` means "infer from the Hamiltonian" — call
+    :meth:`resolve` before fingerprinting or compiling.
     """
 
     kind: str
     n_modes: int | None = None
     hatt_backend: str = "vector"
     cached: bool = True
+    arch: str | None = None
+    arch_weight: float | None = None
 
     def __post_init__(self):
         if self.kind not in MAPPING_KINDS:
             raise ValueError(
                 f"unknown mapping kind {self.kind!r}; expected one of {MAPPING_KINDS}"
             )
+        if self.kind == "hatt-arch":
+            if self.arch not in ARCHITECTURE_NAMES:
+                raise ValueError(
+                    f"hatt-arch needs arch from {ARCHITECTURE_NAMES}, "
+                    f"got {self.arch!r}"
+                )
+            if self.arch_weight is not None:
+                aw = float(self.arch_weight)
+                if not math.isfinite(aw) or aw < 0:
+                    raise ValueError(
+                        f"arch_weight must be finite and >= 0, got {self.arch_weight!r}"
+                    )
+        elif self.arch is not None or self.arch_weight is not None:
+            raise ValueError(f"arch/arch_weight only apply to hatt-arch, not {self.kind!r}")
 
     @property
     def vacuum(self) -> bool:
@@ -202,6 +228,13 @@ def fingerprint_request(
             "vacuum": spec.vacuum,
         },
     }
+    if spec.kind == "hatt-arch":
+        # The arch and the effective (quantized) blend are result-changing
+        # config; the construction rounds arch_weight to the same grid, so
+        # float dust inside one grid cell cannot fork the key.
+        aw = DEFAULT_ARCH_WEIGHT if spec.arch_weight is None else float(spec.arch_weight)
+        payload["config"]["arch"] = spec.arch
+        payload["config"]["arch_weight_q"] = int(round(aw * ARCH_WEIGHT_SCALE))
     if spec.hamiltonian_dependent:
         payload["form"] = (
             "fermion" if isinstance(hamiltonian, FermionOperator) else "majorana"

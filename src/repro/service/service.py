@@ -56,6 +56,18 @@ def compile_mapping(
         return balanced_ternary_tree(n)
     if spec.kind == "parity":
         return parity_mapping(n)
+    if spec.kind == "hatt-arch":
+        from ..circuits.architectures import architecture
+
+        return hatt_mapping(
+            hamiltonian,
+            n_modes=n,
+            vacuum=True,
+            cached=spec.cached,
+            backend=spec.hatt_backend,
+            graph=architecture(spec.arch),
+            arch_weight=spec.arch_weight,
+        )
     # hatt / hatt-unopt
     return hatt_mapping(
         hamiltonian,
@@ -239,6 +251,9 @@ class MappingService:
                 "repro_version": __version__,
                 "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             }
+            if spec.kind == "hatt-arch":
+                provenance["arch"] = spec.arch
+                provenance["arch_weight"] = spec.arch_weight
             mapping.provenance = provenance
             if self.store is not None:
                 self.store.put_mapping(fp, mapping, provenance=provenance)

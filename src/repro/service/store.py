@@ -18,9 +18,13 @@ Both namespaces are **LRU-capped**: construct with ``max_bytes`` (one cap
 applied to each namespace, or a ``{"mappings": ..., "circuits": ...}`` dict)
 and every put evicts least-recently-used entries until the namespace fits.
 Recency is the primary document's mtime — refreshed on every successful read
-— so a hot entry survives churn that flushes cold ones.  The cap is strict:
-a namespace never exceeds its budget after a put, even if that means
-evicting the entry just written.
+— so a hot entry survives churn that flushes cold ones.  Recency stamps are
+written explicitly with strictly increasing nanosecond timestamps
+(:meth:`ArtifactStore._next_recency_ns`): relying on the filesystem's own
+mtime would collapse every touch within one second on coarse-granularity
+filesystems into a tie, making "least recently used" arbitrary under churn.
+The cap is strict: a namespace never exceeds its budget after a put, even
+if that means evicting the entry just written.
 
 Durability rules:
 
@@ -40,6 +44,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
 
 from ..mappings.base import FermionQubitMapping
@@ -109,6 +115,8 @@ class ArtifactStore:
         self._caps = _normalize_caps(max_bytes)
         self._evictions = {ns: 0 for ns in NAMESPACES}
         self._corrupt_dropped = 0
+        self._recency_lock = threading.Lock()
+        self._last_recency_ns = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -144,8 +152,21 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Raw document I/O
     # ------------------------------------------------------------------
-    @staticmethod
-    def _write_atomic(path: Path, payload: dict) -> None:
+    def _next_recency_ns(self) -> int:
+        """A strictly increasing nanosecond recency stamp.
+
+        ``st_mtime`` alone is unusable as an LRU clock: some filesystems
+        round it to whole seconds, so every document touched within one
+        second ties and eviction order becomes arbitrary.  Stamping each
+        write/read-hit with ``max(now_ns, last + 1)`` makes recency a total
+        order regardless of filesystem timestamp granularity.
+        """
+        with self._recency_lock:
+            ns = max(time.time_ns(), self._last_recency_ns + 1)
+            self._last_recency_ns = ns
+            return ns
+
+    def _write_atomic(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
@@ -160,6 +181,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        self._touch(path)
 
     def _read_doc(self, path: Path, touch: bool = False) -> dict | None:
         try:
@@ -177,11 +199,11 @@ class ArtifactStore:
             self._touch(path)
         return data
 
-    @staticmethod
-    def _touch(path: Path) -> None:
-        """Refresh a document's mtime (its LRU recency) after a hit."""
+    def _touch(self, path: Path) -> None:
+        """Refresh a document's LRU recency (write or read hit)."""
+        ns = self._next_recency_ns()
         try:
-            os.utime(path)
+            os.utime(path, ns=(ns, ns))
         except OSError:
             pass
 
@@ -225,17 +247,22 @@ class ArtifactStore:
         out = []
         for fp in self._ns_fingerprints(namespace):
             try:
-                mtime = self._primary_path(namespace, fp).stat().st_mtime
+                st = self._primary_path(namespace, fp).stat()
+                mtime, mtime_ns = st.st_mtime, st.st_mtime_ns
             except OSError:
-                mtime = 0.0
+                mtime, mtime_ns = 0.0, 0
             out.append(
                 {
                     "fingerprint": fp,
                     "bytes": self._entry_bytes(namespace, fp),
                     "mtime": mtime,
+                    "mtime_ns": mtime_ns,
                 }
             )
-        out.sort(key=lambda e: (e["mtime"], e["fingerprint"]))
+        # Sort on st_mtime_ns: the float st_mtime cannot represent the
+        # store's nanosecond recency stamps (53-bit mantissa), so close
+        # touches would alias back into ties.
+        out.sort(key=lambda e: (e["mtime_ns"], e["fingerprint"]))
         return out
 
     def _remove_entry(self, namespace: str, fingerprint: str) -> bool:

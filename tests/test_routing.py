@@ -177,6 +177,30 @@ class TestDistanceMatrix:
         with pytest.raises(ValueError):
             distance_matrix(g)
 
+    def test_cache_invalidated_on_mutation(self):
+        """Mutating a graph after the first call must recompute distances."""
+        from repro.circuits import distance_matrix
+
+        g = nx.path_graph(4)
+        d1 = distance_matrix(g)
+        assert d1[0, 3] == 3
+        g.add_edge(0, 3)  # shortcut changes every long-range distance
+        d2 = distance_matrix(g)
+        assert d2 is not d1
+        assert d2[0, 3] == 1
+        # Stable again once the edge set stops changing.
+        assert distance_matrix(g) is d2
+
+    def test_cache_invalidated_on_node_growth(self):
+        from repro.circuits import distance_matrix
+
+        g = nx.path_graph(3)
+        d1 = distance_matrix(g)
+        g.add_edge(2, 3)
+        d2 = distance_matrix(g)
+        assert d2.shape == (4, 4)
+        assert d1.shape == (3, 3)
+
 
 class TestDeterminism:
     def test_route_twice_identical(self):

@@ -543,3 +543,181 @@ class TestBackgroundServer:
             with BackgroundServer(q) as bg2:
                 with ServiceClient(bg2.host, bg2.port) as c:
                     assert c.healthy()
+
+
+class TestArchRequestSchema:
+    """hatt-arch requests across the wire surface."""
+
+    def test_map_job_accepts_arch_for_hatt_arch(self):
+        r = CompileRequest(case="hubbard:1x2", kind="hatt-arch", arch="montreal")
+        assert CompileRequest.from_dict(r.to_dict()) == r
+        spec = r.spec()
+        assert spec.kind == "hatt-arch" and spec.arch == "montreal"
+
+    def test_arch_weight_round_trips_and_reaches_spec(self):
+        r = CompileRequest(case="hubbard:1x2", kind="hatt-arch",
+                           arch="sycamore", arch_weight=0.5)
+        assert CompileRequest.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+        assert r.spec().arch_weight == 0.5
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"case": "x", "kind": "hatt-arch"}, "need arch"),
+        ({"case": "x", "kind": "hatt-arch", "arch": "osprey"}, "need arch"),
+        ({"case": "x", "arch": "montreal"}, "map jobs take no arch"),
+        ({"case": "x", "arch_weight": 0.5}, "only applies to kind='hatt-arch'"),
+        ({"case": "x", "kind": "hatt-arch", "arch": "montreal",
+          "arch_weight": -1.0}, "finite number"),
+        ({"case": "x", "kind": "hatt-arch", "arch": "montreal",
+          "arch_weight": float("nan")}, "finite number"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            CompileRequest(**kwargs)
+
+    def test_arch_weight_forks_coalesce_key(self):
+        a = CompileRequest(case="hubbard:1x2", kind="hatt-arch", arch="montreal")
+        b = a.replace(arch_weight=1.0)
+        c = a.replace(arch="sycamore")
+        assert len({a.coalesce_key(), b.coalesce_key(), c.coalesce_key()}) == 3
+
+    def test_map_job_executes_end_to_end(self, tmp_path):
+        service = MappingService(cache_dir=tmp_path / "cache")
+        with JobQueue(service=service, workers=1) as q:
+            rec, _ = q.submit(CompileRequest(
+                case="hubbard:1x2", kind="hatt-arch", arch="montreal"))
+            done = q.wait(rec.id, timeout=120)
+            assert done.status == JobStatus.DONE, done.error
+            assert done.result["kind"] == "hatt-arch"
+            # Distinct architecture → distinct mappings/v1 entry.
+            rec2, _ = q.submit(CompileRequest(
+                case="hubbard:1x2", kind="hatt-arch", arch="sycamore"))
+            done2 = q.wait(rec2.id, timeout=120)
+            assert done2.status == JobStatus.DONE, done2.error
+            assert done2.fingerprint != done.fingerprint
+
+
+class TestJobRetentionPinning:
+    """A completed record a waiter still holds must survive trimming."""
+
+    @staticmethod
+    def _fast_queue(tmp_path, monkeypatch, max_jobs=1):
+        monkeypatch.setattr(
+            queue_mod, "_run_request",
+            lambda request, service: {"fingerprint": "01" * 32, "source": "x"},
+        )
+        service = MappingService(cache_dir=tmp_path / "cache")
+        return JobQueue(service=service, workers=1, max_jobs=max_jobs)
+
+    def test_pinned_record_survives_submission_burst(self, tmp_path, monkeypatch):
+        with self._fast_queue(tmp_path, monkeypatch) as q:
+            a, _ = q.submit(CompileRequest(case="hubbard:1x2"))
+            q.wait(a.id, timeout=30)
+            q.pin(a.id)
+            try:
+                for i in range(4):
+                    r, _ = q.submit(CompileRequest(case=f"hubbard:{i + 2}x2"))
+                    q.wait(r.id, timeout=30)
+                assert q.get(a.id) is not None  # would 404 without the pin
+            finally:
+                q.unpin(a.id)
+            # Unpinned, the next trim may reclaim it.
+            r, _ = q.submit(CompileRequest(case="hubbard:9x2"))
+            q.wait(r.id, timeout=30)
+            assert q.get(a.id) is None
+
+    def test_pins_are_counted(self, tmp_path, monkeypatch):
+        with self._fast_queue(tmp_path, monkeypatch) as q:
+            a, _ = q.submit(CompileRequest(case="hubbard:1x2"))
+            q.wait(a.id, timeout=30)
+            q.pin(a.id)
+            q.pin(a.id)
+            q.unpin(a.id)  # one waiter left → still protected
+            for i in range(3):
+                r, _ = q.submit(CompileRequest(case=f"hubbard:{i + 2}x2"))
+                q.wait(r.id, timeout=30)
+            assert q.get(a.id) is not None
+            q.unpin(a.id)
+
+    def test_wait_pins_against_concurrent_trim(self, tmp_path, monkeypatch):
+        """The end-to-end regression: wait() returns the settled record even
+        when a submission burst trims the table while it waits."""
+        gate = threading.Event()
+
+        def run(request, service):
+            if request.case == "slow:1x1":
+                gate.wait(30)
+            return {"fingerprint": "01" * 32, "source": "x"}
+
+        monkeypatch.setattr(queue_mod, "_run_request", run)
+        service = MappingService(cache_dir=tmp_path / "cache")
+        with JobQueue(service=service, workers=2, max_jobs=1) as q:
+            slow, _ = q.submit(CompileRequest(case="slow:1x1"))
+            out = {}
+            waiter = threading.Thread(
+                target=lambda: out.update(rec=q.wait(slow.id, timeout=60)))
+            waiter.start()
+            for i in range(4):
+                r, _ = q.submit(CompileRequest(case=f"hubbard:{i + 1}x2"))
+                q.wait(r.id, timeout=30)
+            gate.set()
+            waiter.join(60)
+            assert out["rec"] is not None
+            assert out["rec"].status == JobStatus.DONE
+
+
+class TestQueryParamValidation:
+    """Malformed ?wait=/?timeout= are client errors, not 500s."""
+
+    def _post(self, bg, query):
+        body = json.dumps({"case": "hubbard:1x2", "kind": "jw"}).encode()
+        req = urllib.request.Request(
+            f"http://{bg.host}:{bg.port}/v1/jobs{query}", data=body,
+            method="POST", headers={"Content-Type": "application/json"})
+        return urllib.request.urlopen(req, timeout=120)
+
+    @pytest.mark.parametrize("query", [
+        "?wait=1&timeout=abc",
+        "?wait=1&timeout=-5",
+        "?wait=1&timeout=0",
+        "?wait=1&timeout=nan",
+        "?wait=1&timeout=inf",
+        "?wait=maybe",
+        "?wait=2",
+    ])
+    def test_bad_params_are_400_envelopes(self, served, query):
+        _q, bg = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._post(bg, query)
+        assert err.value.code == 400
+        doc = json.loads(err.value.read())
+        assert doc["schema"] == "repro/v1" and "error" in doc
+
+    def test_bad_params_never_enqueue_work(self, served):
+        q, bg = served
+        before = q.stats()["submitted"]
+        with pytest.raises(urllib.error.HTTPError):
+            self._post(bg, "?wait=1&timeout=abc")
+        assert q.stats()["submitted"] == before
+
+    @pytest.mark.parametrize("query", ["", "?wait=0", "?wait=false", "?wait=no"])
+    def test_valid_falsy_waits_accepted(self, served, query):
+        _q, bg = served
+        with self._post(bg, query) as resp:
+            assert resp.status in (200, 202)
+
+    def test_valid_truthy_wait_accepted(self, served):
+        _q, bg = served
+        with self._post(bg, "?wait=yes&timeout=120") as resp:
+            doc = json.loads(resp.read())
+            assert doc["result"]["status"] == JobStatus.DONE
+
+    def test_bad_content_length_is_400_not_dropped(self, served):
+        """A _BadRequest from header/body parsing must answer, not vanish."""
+        import socket
+
+        _q, bg = served
+        with socket.create_connection((bg.host, bg.port), timeout=30) as sock:
+            sock.sendall(b"POST /v1/jobs HTTP/1.1\r\n"
+                         b"Host: x\r\nContent-Length: nope\r\n\r\n")
+            data = sock.recv(65536)
+        assert data.startswith(b"HTTP/1.1 400")

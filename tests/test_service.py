@@ -573,3 +573,115 @@ class TestLruCaps:
         assert stats["memory_evictions"] >= 1
         assert stats["hits_disk"] == 1
         assert stats["hit_rate"] == round(1 / 3, 4)
+
+
+class TestArchFingerprint:
+    """hatt-arch requests must key mappings/v1 on the coupling graph too."""
+
+    def test_distinct_archs_fork(self):
+        h = load_case("hubbard:1x2")
+        fps = {
+            fingerprint_request(h, MappingSpec(kind="hatt-arch", arch=a))
+            for a in ("montreal", "sycamore", "ionq_forte")
+        }
+        assert len(fps) == 3
+
+    def test_arch_forks_from_plain_hatt(self):
+        h = load_case("hubbard:1x2")
+        plain = fingerprint_request(h, MappingSpec(kind="hatt"))
+        arch = fingerprint_request(h, MappingSpec(kind="hatt-arch", arch="montreal"))
+        assert plain != arch
+
+    def test_weight_quantization(self):
+        """Weights are fingerprinted at 1/64 resolution: the default weight
+        and an explicit equal weight collide; distinct weights fork."""
+        h = load_case("hubbard:1x2")
+        from repro.hatt import DEFAULT_ARCH_WEIGHT
+
+        base = MappingSpec(kind="hatt-arch", arch="montreal")
+        explicit = MappingSpec(
+            kind="hatt-arch", arch="montreal", arch_weight=DEFAULT_ARCH_WEIGHT
+        )
+        other = MappingSpec(kind="hatt-arch", arch="montreal", arch_weight=2.0)
+        assert fingerprint_request(h, base) == fingerprint_request(h, explicit)
+        assert fingerprint_request(h, base) != fingerprint_request(h, other)
+
+    def test_arch_requires_known_name(self):
+        with pytest.raises(ValueError):
+            MappingSpec(kind="hatt-arch", arch="torus")
+        with pytest.raises(ValueError):
+            MappingSpec(kind="hatt-arch")  # arch is mandatory for the kind
+
+    def test_arch_rejected_for_other_kinds(self):
+        with pytest.raises(ValueError):
+            MappingSpec(kind="hatt", arch="montreal")
+        with pytest.raises(ValueError):
+            MappingSpec(kind="jw", arch_weight=0.5)
+
+    def test_service_roundtrip_with_provenance(self, tmp_path):
+        h = load_case("hubbard:1x2")
+        svc = MappingService(cache_dir=tmp_path)
+        spec = MappingSpec(kind="hatt-arch", arch="sycamore", arch_weight=0.5)
+        cold = svc.get_or_compile(h, spec)
+        assert cold.source == "compiled"
+        assert cold.provenance["arch"] == "sycamore"
+        assert cold.provenance["arch_weight"] == 0.5
+        warm = svc.get_or_compile(h, spec)
+        assert warm.cache_hit
+        assert [str(s) for s in warm.mapping.strings] == \
+            [str(s) for s in cold.mapping.strings]
+
+    def test_batch_suite_threads_arch(self, tmp_path):
+        report = compile_suite(
+            ["hubbard:1x2"],
+            ["hatt", "hatt-arch"],
+            cache_dir=tmp_path,
+            arch="montreal",
+            arch_weight=0.5,
+        )
+        assert report.n_errors == 0
+        fps = {t.fingerprint for t in report.tasks}
+        assert len(fps) == 2  # hatt and hatt-arch are distinct cache entries
+
+    def test_batch_hatt_arch_without_arch_is_per_task_error(self, tmp_path):
+        report = compile_suite(["hubbard:1x2"], ["hatt-arch"], cache_dir=tmp_path)
+        assert report.n_errors == 1
+
+
+class TestRecencyGranularity:
+    """LRU recency must stay strictly ordered within one filesystem tick."""
+
+    def test_rapid_writes_order_strictly(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fps = [f"{i:02d}" * 32 for i in range(8)]
+        for fp in fps:  # all writes land well inside one second
+            store.put_circuit_report(fp, {"i": fp[:2]})
+        order = [e["fingerprint"] for e in store.entries("circuits")]
+        assert order == fps
+
+    def test_rapid_touches_order_strictly(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fps = [f"{i:02d}" * 32 for i in range(6)]
+        for fp in fps:
+            store.put_circuit_report(fp, {"i": fp[:2]})
+        for fp in reversed(fps):  # re-touch in reverse, sub-second
+            assert store.get_circuit_report(fp) is not None
+        order = [e["fingerprint"] for e in store.entries("circuits")]
+        assert order == list(reversed(fps))
+
+    def test_recency_stamps_strictly_increase(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        seen = [store._next_recency_ns() for _ in range(1000)]
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+    def test_eviction_respects_sub_second_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10_000)
+        fps = [f"{i:02d}" * 32 for i in range(3)]
+        for fp in fps:
+            store.put_circuit_report(fp, {"pad": "x" * 100})
+        size = store.circuit_path(fps[0]).stat().st_size
+        assert store.get_circuit_report(fps[0]) is not None  # oldest → hottest
+        store._caps["circuits"] = int(2.5 * size)
+        store.put_circuit_report("aa" * 32, {"pad": "x" * 100})
+        left = store.circuit_fingerprints()
+        assert fps[0] in left and fps[1] not in left
