@@ -1,0 +1,284 @@
+"""Served-API availability and tail latency under injected faults.
+
+Drives the real ``repro.serve`` stack through the deterministic
+fault-injection harness (:mod:`repro.serve.faults`) and measures what a
+client population actually experiences when the backend misbehaves:
+
+* **baseline** — the fault-free control: N concurrent clients issuing
+  warm/cold traffic (p50/p99, availability, RPS);
+* **faulted** — the same workload under the ISSUE's 10% fault mix
+  (``worker_crash:0.1`` + ``slow_compile:0.1``): worker crashes are
+  supervised and retried with backoff, so availability — the fraction of
+  requests answered with a terminal ``done`` record — must stay >= 99%;
+* **burst** — an overload spike against a small queue (1 worker,
+  ``max_pending=2``) with every compile slowed: excess cold submissions
+  must be shed with ``503`` + ``Retry-After`` instead of queuing unbounded;
+* **drain** — graceful shutdown after the burst: in-flight jobs settle,
+  nothing is left wedged.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke step) for a reduced run that
+still enforces the availability floor.  Results go to
+``benchmarks/results/`` and, for canonical non-smoke runs, the committed
+repo-root ``BENCH_service_chaos.json``.
+
+Latencies are measured client-side around one ``POST /v1/jobs?wait=1``
+round trip (HTTP framing included); availability counts a request as
+served only when the settled record is ``done`` — errors, timeouts, and
+sheds all count against it.
+"""
+
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table, write_result, write_result_json
+from repro.models import load_case
+from repro.serve import (
+    BackgroundServer,
+    CompileRequest,
+    JobQueue,
+    ServiceClient,
+    ServiceError,
+    faults,
+)
+from repro.service import MappingService
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+
+#: Concurrent clients x requests per client (the ISSUE scenario is N=16).
+N_CLIENTS = 8 if SMOKE else 16
+REQUESTS = 6 if SMOKE else 12
+
+#: The ISSUE's fault mix: 10% worker crashes, 10% slow compiles (+50 ms).
+FAULT_SPEC = "worker_crash:0.1,slow_compile:0.1:0.05"
+
+CASES = (
+    ["hubbard:1x2", "hubbard:2x2"]
+    if SMOKE
+    else ["hubbard:1x2", "hubbard:2x2", "hubbard:2x3", "hubbard:1x4"]
+)
+
+#: Distinct cold cases for the overload burst (no coalescing between them).
+BURST_CASES = [
+    "hubbard:1x2", "hubbard:1x3", "hubbard:1x4", "hubbard:1x5",
+    "hubbard:2x2", "hubbard:2x3", "hubbard:1x6", "hubbard:2x4",
+]
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_chaos.json"
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    def pct(p):  # noqa: E306
+        return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+    return {
+        "n": len(ordered),
+        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
+        "p99_ms": round(pct(0.99) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+    }
+
+
+def _run_population(bg):
+    """N_CLIENTS concurrent clients x REQUESTS ?wait=1 round trips.
+
+    Returns (latencies, records, transport_errors) — every request is
+    accounted for in exactly one of the three.
+    """
+    latencies, records, errors = [], [], []
+    lock = threading.Lock()
+
+    def worker(idx):
+        local_lat, local_rec = [], []
+        try:
+            with ServiceClient(bg.host, bg.port) as client:
+                for i in range(REQUESTS):
+                    case = CASES[(idx + i) % len(CASES)]
+                    start = time.perf_counter()
+                    record = client.submit(
+                        CompileRequest(case=case), wait=True, timeout=600
+                    )
+                    local_lat.append(time.perf_counter() - start)
+                    local_rec.append(record)
+        except Exception as exc:  # noqa: BLE001 - counted against availability
+            with lock:
+                errors.append(exc)
+        with lock:
+            latencies.extend(local_lat)
+            records.extend(local_rec)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return latencies, records, errors, wall
+
+
+def _availability(records, errors):
+    total = len(records) + len(errors)
+    served = sum(1 for r in records if r.status == "done")
+    return served / total if total else 0.0
+
+
+@pytest.fixture(scope="module")
+def chaos_bench(tmp_path_factory):
+    base = tmp_path_factory.mktemp("serve-chaos")
+    for case in CASES + BURST_CASES:
+        load_case(case)  # construct outside any timer
+
+    saved_env = os.environ.get(faults.FAULTS_ENV)
+    os.environ.pop(faults.FAULTS_ENV, None)
+    faults.reset()
+    try:
+        service = MappingService(cache_dir=base / "cache")
+        with JobQueue(service=service, workers=4) as queue, \
+                BackgroundServer(queue) as bg:
+            # Pre-warm every case once so both phases measure the same
+            # warm-dominated mix (crashes strike cache hits and compiles
+            # alike — the fault points sit on the job path, not the cache).
+            with ServiceClient(bg.host, bg.port) as client:
+                for case in CASES:
+                    record = client.submit(
+                        CompileRequest(case=case), wait=True, timeout=600
+                    )
+                    assert record.status == "done", record.error
+
+            # -- baseline (no faults) ---------------------------------
+            lat, records, errors, wall = _run_population(bg)
+            baseline = {
+                **_percentiles(lat),
+                "availability": round(_availability(records, errors), 6),
+                "rps": round(len(lat) / wall, 1),
+            }
+
+            # -- faulted (10% crash + 10% slow) -----------------------
+            os.environ[faults.FAULTS_ENV] = FAULT_SPEC
+            faults.reset()
+            before = queue.stats()
+            lat, records, errors, wall = _run_population(bg)
+            after = queue.stats()
+            os.environ.pop(faults.FAULTS_ENV, None)
+            faults.reset()
+            faulted = {
+                **_percentiles(lat),
+                "availability": round(_availability(records, errors), 6),
+                "rps": round(len(lat) / wall, 1),
+                "retried": after["retried"] - before["retried"],
+                "worker_crashes": after["worker_crashes"] - before["worker_crashes"],
+                "max_attempts_seen": max((r.attempts for r in records), default=0),
+                "injected": after["faults"]["fired"],
+                "transport_errors": len(errors),
+            }
+
+        # -- burst overload + drain -----------------------------------
+        # A deliberately tiny queue: 1 worker, 2 live jobs max, every
+        # compile slowed by 300 ms so the burst lands while it is plugged.
+        os.environ[faults.FAULTS_ENV] = "slow_compile:1:0.3"
+        faults.reset()
+        burst_service = MappingService(cache_dir=base / "burst-cache")
+        accepted, shed = [], []
+        with JobQueue(service=burst_service, workers=1, max_pending=2) as bq, \
+                BackgroundServer(bq) as bbg, \
+                ServiceClient(bbg.host, bbg.port) as client:
+            for case in BURST_CASES:
+                try:
+                    accepted.append(client.submit(CompileRequest(case=case)))
+                except ServiceError as exc:
+                    if exc.status != 503:
+                        raise
+                    shed.append(exc)
+            drain_summary = bbg.drain(timeout=120)
+        os.environ.pop(faults.FAULTS_ENV, None)
+        faults.reset()
+        burst = {
+            "submitted": len(BURST_CASES),
+            "accepted": len(accepted),
+            "shed_503": len(shed),
+            "retry_after_present": all(
+                e.retry_after is not None and e.retry_after >= 1.0 for e in shed
+            ),
+            "drained": {r.id: bq.get(r.id).status for r in accepted},
+        }
+    finally:
+        if saved_env is not None:
+            os.environ[faults.FAULTS_ENV] = saved_env
+        else:
+            os.environ.pop(faults.FAULTS_ENV, None)
+        faults.reset()
+
+    rows = [
+        ["baseline", baseline["p50_ms"], baseline["p99_ms"],
+         f"{baseline['availability']:.4f}", baseline["rps"]],
+        [f"faulted ({FAULT_SPEC})", faulted["p50_ms"], faulted["p99_ms"],
+         f"{faulted['availability']:.4f}", faulted["rps"]],
+        [f"burst x{burst['submitted']}", "-", "-",
+         f"{burst['shed_503']} shed w/ Retry-After", "-"],
+        ["drain", "-", "-",
+         f"settled={drain_summary['settled']} forced={drain_summary['forced']}",
+         "-"],
+    ]
+    content = format_table(
+        "served-API chaos (POST /v1/jobs?wait=1 under injected faults)",
+        ["phase", "p50 ms", "p99 ms", "availability / note", "RPS"],
+        rows,
+    )
+    write_result("service_chaos", content)
+    payload = {
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "clients": N_CLIENTS,
+        "requests_per_client": REQUESTS,
+        "cases": CASES,
+        "fault_spec": FAULT_SPEC,
+        "executor": "thread",
+        "workers": 4,
+        "baseline": baseline,
+        "faulted": faulted,
+        "burst": burst,
+        "drain": drain_summary,
+    }
+    write_result_json("service_chaos", payload)
+    if not SMOKE:
+        # Canonical runs refresh the committed repo-root artifact.
+        write_result_json("service_chaos", payload, path=JSON_PATH)
+    return payload
+
+
+def test_availability_under_faults(chaos_bench):
+    """Acceptance: >= 99% of requests served despite the 10% fault mix."""
+    assert chaos_bench["faulted"]["availability"] >= 0.99, chaos_bench["faulted"]
+    assert chaos_bench["baseline"]["availability"] == 1.0
+
+
+def test_faults_actually_fired_and_were_retried(chaos_bench):
+    """The run is only meaningful if crashes really struck and were healed."""
+    faulted = chaos_bench["faulted"]
+    assert faulted["injected"].get("worker_crash", 0) >= 1
+    assert faulted["worker_crashes"] >= 1
+    assert faulted["retried"] >= 1
+    assert faulted["max_attempts_seen"] > 1
+
+
+def test_burst_sheds_with_retry_after(chaos_bench):
+    burst = chaos_bench["burst"]
+    assert burst["shed_503"] >= 1
+    assert burst["accepted"] + burst["shed_503"] == burst["submitted"]
+    assert burst["retry_after_present"]
+
+
+def test_drain_settles_accepted_jobs(chaos_bench):
+    burst = chaos_bench["burst"]
+    assert all(s in ("done", "error", "cancelled")
+               for s in burst["drained"].values())
+
+
+def test_json_written(chaos_bench):
+    if not SMOKE:
+        assert JSON_PATH.exists()

@@ -18,6 +18,7 @@ Run:  python examples/serve_client.py
 (artifacts land in a temporary directory; nothing persists)
 """
 
+import os
 import tempfile
 import threading
 import time
@@ -27,6 +28,8 @@ from repro.serve import (
     CompileRequest,
     JobQueue,
     ServiceClient,
+    ServiceError,
+    faults,
 )
 from repro.service import MappingService
 
@@ -92,6 +95,49 @@ def artifacts(client: ServiceClient) -> None:
           f"(routed_cx={doc['artifact']['routed_cx']})\n")
 
 
+def resilient_submit(client: ServiceClient) -> None:
+    """The recommended client-side retry discipline.
+
+    The client never auto-retries a POST — the connection may die *after*
+    the server processed it, and a blind retry could double-submit.  The
+    loop below is the pattern instead: catch the typed error and re-submit
+    (identical submissions coalesce server-side, so convergence is safe),
+    and honor 503 ``Retry-After`` backpressure with a sleep.
+
+    To make the transport branch actually run, one truncated HTTP response
+    is injected via the fault harness (``REPRO_FAULTS=partial_write:1:0.5:1``).
+    """
+    print("=" * 64)
+    print("Resilient submit: typed errors, re-submit to converge")
+    print("=" * 64)
+    os.environ[faults.FAULTS_ENV] = "partial_write:1:0.5:1"
+    faults.reset()
+    request = CompileRequest(case="hubbard:2x2", job="map", kind="hatt")
+    record = None
+    try:
+        for attempt in range(1, 6):
+            try:
+                record = client.submit(request, wait=True, timeout=300)
+                break
+            except ServiceError as exc:
+                if exc.kind == "connection":
+                    print(f"  attempt {attempt}: transport died mid-POST -> "
+                          "re-submit (coalesces server-side)")
+                    continue
+                if exc.status == 503:
+                    delay = exc.retry_after or 1.0
+                    print(f"  attempt {attempt}: shed with 503 -> "
+                          f"sleep {delay:.1f}s, retry")
+                    time.sleep(delay)
+                    continue
+                raise
+    finally:
+        os.environ.pop(faults.FAULTS_ENV, None)
+        faults.reset()
+    assert record is not None and record.status == "done", record
+    print(f"  converged: job={record.id} source={record.source}\n")
+
+
 def stats(client: ServiceClient) -> None:
     print("=" * 64)
     print("GET /v1/stats")
@@ -114,4 +160,5 @@ if __name__ == "__main__":
             submit_and_wait(client)
             coalescing(client, queue)
             artifacts(client)
+            resilient_submit(client)
             stats(client)

@@ -441,7 +441,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 # serve
 # ----------------------------------------------------------------------
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import EXECUTORS, JobQueue, run_server
+    from .serve import EXECUTORS, JobQueue, RetryPolicy, run_server
 
     if args.executor not in EXECUTORS:
         print(
@@ -459,7 +459,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.memory_capacity is not None:
         service_kwargs["memory_capacity"] = args.memory_capacity
     service = MappingService(**service_kwargs)
-    queue = JobQueue(service=service, workers=args.jobs, executor=args.executor)
+    queue = JobQueue(
+        service=service,
+        workers=args.jobs,
+        executor=args.executor,
+        job_timeout=args.job_timeout,
+        max_pending=args.max_pending or None,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+    )
 
     def ready(server) -> None:
         cache_note = cache_dir if cache_dir is not None else "disabled"
@@ -471,11 +478,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     try:
-        run_server(queue, host=args.host, port=args.port, ready=ready)
+        run_server(
+            queue,
+            host=args.host,
+            port=args.port,
+            ready=ready,
+            drain_timeout=args.drain_timeout,
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("repro serve: shutting down", file=sys.stderr)
     finally:
-        queue.shutdown()
+        # cancel_futures settles every still-queued job as cancelled before
+        # stopping the pool, so no ``?wait=1`` client is left hanging on a
+        # Ctrl-C (run_server's drain normally did this already; after a
+        # drain this is an idempotent no-op).
+        queue.shutdown(wait=False, cancel_futures=True)
     return 0
 
 
@@ -689,6 +706,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
                          help="disk LRU cap applied to each artifact namespace "
                               "(default: unbounded)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-attempt execution deadline for every job; "
+                              "requests may set a 'deadline' of their own "
+                              "(default: no limit)")
+    p_serve.add_argument("--max-pending", type=int, default=256, metavar="N",
+                         help="load-shedding cap on live (queued+running) "
+                              "jobs; past it cold submissions get 503 + "
+                              "Retry-After; 0 disables (default: 256)")
+    p_serve.add_argument("--retries", type=int, default=3, metavar="N",
+                         help="max attempts per job for retryable failures "
+                              "(worker crash, transient store I/O); 1 "
+                              "disables retry (default: 3)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="graceful-shutdown budget: on SIGTERM/SIGINT "
+                              "in-flight jobs get this long to settle before "
+                              "being cancelled (default: 30)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser(

@@ -1,18 +1,33 @@
 """``repro serve`` — the async compilation-service API.
 
 One typed request/response surface (:mod:`repro.serve.schema`) shared by the
-HTTP server, the batch orchestrator, and the CLI; a coalescing job queue
-(:mod:`repro.serve.queue`) in front of the PR-4 compilation service; and an
+HTTP server, the batch orchestrator, and the CLI; a fault-tolerant
+coalescing job queue (:mod:`repro.serve.queue`) in front of the PR-4
+compilation service — executor supervision, deadlines, bounded retries,
+cancellation, load shedding, a circuit breaker, and graceful drain; an
 asyncio HTTP front end (:mod:`repro.serve.server`) with stdlib clients
-(:mod:`repro.serve.client`).
+(:mod:`repro.serve.client`); and a deterministic fault-injection harness
+(:mod:`repro.serve.faults`) the chaos tests and benchmarks drive.
 """
 
+from . import faults
 from .client import AsyncServiceClient, ServiceClient, ServiceError
-from .queue import EXECUTORS, JobQueue, execute_request
+from .queue import (
+    EXECUTORS,
+    BreakerOpen,
+    CircuitBreaker,
+    JobQueue,
+    QueueFull,
+    RejectedSubmission,
+    RetryPolicy,
+    ServiceDraining,
+    execute_request,
+)
 from .schema import (
     JOB_KINDS,
     SCHEMA,
     CompileRequest,
+    JobError,
     JobRecord,
     JobStatus,
     check_envelope,
@@ -25,16 +40,24 @@ __all__ = [
     "JOB_KINDS",
     "EXECUTORS",
     "JobStatus",
+    "JobError",
     "CompileRequest",
     "JobRecord",
     "envelope",
     "check_envelope",
     "JobQueue",
     "execute_request",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "RejectedSubmission",
+    "QueueFull",
+    "BreakerOpen",
+    "ServiceDraining",
     "CompileServer",
     "BackgroundServer",
     "run_server",
     "ServiceClient",
     "AsyncServiceClient",
     "ServiceError",
+    "faults",
 ]

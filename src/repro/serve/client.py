@@ -22,17 +22,51 @@ __all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An HTTP-level error response (carries status + server error text)."""
+    """A typed service-level failure.
 
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
+    ``kind="http"``: an HTTP error response; ``status`` carries the code
+    and, on a 503 shed, ``retry_after`` carries the server's backpressure
+    hint in seconds.
+
+    ``kind="connection"``: the transport died under a non-idempotent
+    request (``status=0``).  The POST may or may not have reached the
+    server, so the client never auto-retries; re-submit to converge —
+    identical submissions coalesce server-side, so a duplicate is safe
+    and costs nothing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        kind: str = "http",
+        retry_after: float | None = None,
+    ):
+        super().__init__(
+            f"HTTP {status}: {message}" if kind == "http" else message
+        )
         self.status = status
+        self.kind = kind
+        self.retry_after = retry_after
 
 
-def _check(status: int, doc: dict, command: str | None) -> dict:
+def _check(
+    status: int, doc: dict, command: str | None, retry_after: float | None = None
+) -> dict:
     if status >= 400:
-        raise ServiceError(status, str(doc.get("error") or doc))
+        raise ServiceError(
+            status, str(doc.get("error") or doc), retry_after=retry_after
+        )
     return check_envelope(doc, command)
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
 
 
 class ServiceClient:
@@ -53,18 +87,37 @@ class ServiceClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        idempotent = method in ("GET", "HEAD")
         try:
-            self._conn.request(method, path, body=payload, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # Stale keep-alive connection: reconnect once and retry.
+            status, retry_after, doc = self._roundtrip(method, path, payload, headers)
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
             self._conn.close()
-            self._conn.request(method, path, body=payload, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
+            if not idempotent:
+                # The request may already have reached the server (a POST
+                # could be submitted, a DELETE could have cancelled);
+                # auto-retrying could double-submit.  Surface a typed error
+                # and let the caller re-submit — identical submissions
+                # coalesce server-side, so convergence is safe and cheap.
+                raise ServiceError(
+                    0,
+                    f"connection lost during {method} {path}: {exc}; the "
+                    f"request may have been processed — re-submit to "
+                    f"converge (identical submissions coalesce server-side)",
+                    kind="connection",
+                ) from exc
+            # Stale keep-alive on an idempotent request: reconnect, retry once.
+            status, retry_after, doc = self._roundtrip(method, path, payload, headers)
+        return status, _check(status, doc, command, retry_after=retry_after)
+
+    def _roundtrip(
+        self, method: str, path: str, payload: bytes | None, headers: dict
+    ) -> tuple[int, float | None, dict]:
+        self._conn.request(method, path, body=payload, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        retry_after = _parse_retry_after(response.getheader("Retry-After"))
         doc = json.loads(raw.decode("utf-8"))
-        return response.status, _check(response.status, doc, command)
+        return response.status, retry_after, doc
 
     # ------------------------------------------------------------------
     def submit(
@@ -87,6 +140,17 @@ class ServiceClient:
     def job(self, job_id: str) -> JobRecord:
         _status, doc = self._call("GET", f"/v1/jobs/{job_id}", command="jobs.get")
         return JobRecord.from_dict(doc["result"])
+
+    def cancel(self, job_id: str) -> tuple[JobRecord, bool]:
+        """DELETE one submission of a job; ``(record, actually_cancelled)``.
+
+        ``actually_cancelled=False`` means the job kept running — other
+        coalesced subscribers still hold it, or it had already settled.
+        """
+        _status, doc = self._call(
+            "DELETE", f"/v1/jobs/{job_id}", command="jobs.cancel"
+        )
+        return JobRecord.from_dict(doc["result"]), bool(doc.get("cancelled"))
 
     def artifact(self, fingerprint: str) -> dict:
         _status, doc = self._call(
@@ -182,6 +246,12 @@ class AsyncServiceClient:
     async def job(self, job_id: str) -> JobRecord:
         _status, doc = await self._call("GET", f"/v1/jobs/{job_id}", command="jobs.get")
         return JobRecord.from_dict(doc["result"])
+
+    async def cancel(self, job_id: str) -> tuple[JobRecord, bool]:
+        _status, doc = await self._call(
+            "DELETE", f"/v1/jobs/{job_id}", command="jobs.cancel"
+        )
+        return JobRecord.from_dict(doc["result"]), bool(doc.get("cancelled"))
 
     async def stats(self) -> dict:
         _status, doc = await self._call("GET", "/v1/stats", command="stats")

@@ -1,0 +1,304 @@
+"""Deterministic fault-injection harness for the serving stack.
+
+Chaos testing the fault-tolerance layer needs faults that are (a) injected
+at well-defined seams, (b) **deterministic** — a 10% rate fires on exactly
+every 10th trial, not probabilistically, so test assertions are exact — and
+(c) activatable from the environment, so fork-based process-pool workers
+inherit the configuration without any plumbing.
+
+Spec grammar (comma-separated rules, set via ``REPRO_FAULTS``)::
+
+    REPRO_FAULTS="worker_crash:0.1,slow_compile:0.25:0.05,store_write:1:0:1"
+                  ^point       ^rate          ^param      ^max_fires
+
+``rate`` ∈ [0, 1] is the deterministic firing fraction; optional ``param``
+is point-specific (sleep seconds, truncation fraction); optional
+``max_fires`` bounds total fires (0 = unlimited).  Because forked workers
+each start with fresh trial counters, ``max_fires`` budgets are coordinated
+across processes through ticket files in the ``REPRO_FAULTS_STATE``
+directory, claimed with ``O_CREAT | O_EXCL`` so each fire is claimed by
+exactly one process.
+
+Fault points wired into the stack:
+
+=============  ======================  =====================================
+point          hook                    effect when it fires
+=============  ======================  =====================================
+worker_crash   queue executors         process worker: ``os._exit`` (hard
+                                       crash → ``BrokenProcessPool``);
+                                       thread worker: raises
+                                       :class:`WorkerCrashFault`
+slow_compile   ``queue._run_request``  sleeps ``param`` seconds
+store_write    ``ArtifactStore``       raises ``OSError(ENOSPC)`` before the
+                                       atomic rename (must leave no partial
+                                       documents behind)
+partial_write  HTTP ``_respond``       truncates the response at ``param``
+                                       fraction of the bytes and drops the
+                                       connection
+=============  ======================  =====================================
+"""
+
+from __future__ import annotations
+
+import errno
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from .schema import JobError
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULTS_STATE_ENV",
+    "POINTS",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerCrashFault",
+    "get_injector",
+    "reset",
+    "should_fire",
+    "sleep_if",
+    "raise_if",
+    "crash_if",
+    "exit_if",
+    "partial_cut",
+    "store_write_error",
+]
+
+#: Environment variable holding the fault spec (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Directory used to coordinate ``max_fires`` budgets across processes.
+FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
+
+#: Fault points the stack wires in.  Unknown points in a spec are rejected
+#: so a typo'd chaos experiment fails loudly instead of injecting nothing.
+POINTS = ("worker_crash", "slow_compile", "store_write", "partial_write")
+
+#: Default ``param`` per point when the spec omits it.
+_DEFAULT_PARAMS = {"slow_compile": 0.25, "partial_write": 0.5}
+
+
+class InjectedFault(JobError):
+    """Base for exceptions raised by fired fault points (a typed JobError)."""
+
+    def __init__(self, message: str, kind: str = "exception", retryable: bool = False):
+        super().__init__(message, kind=kind, retryable=retryable)
+
+
+class WorkerCrashFault(InjectedFault):
+    """Thread-executor stand-in for a dead worker process (retryable)."""
+
+    def __init__(self):
+        super().__init__(
+            "injected fault: simulated worker crash",
+            kind="worker_crash",
+            retryable=True,
+        )
+
+
+def store_write_error() -> OSError:
+    """The error the ``store_write`` point injects (classified transient)."""
+    return OSError(errno.ENOSPC, "injected fault: no space left on device")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault point."""
+
+    point: str
+    rate: float
+    param: float = 0.0
+    max_fires: int = 0  # 0 = unlimited
+
+    def __post_init__(self):
+        if self.point not in POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; expected one of {POINTS}"
+            )
+        if not isinstance(self.rate, (int, float)) or not math.isfinite(self.rate) \
+                or not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires!r}")
+
+
+class FaultInjector:
+    """A parsed set of fault rules with deterministic per-point firing.
+
+    Each point keeps a trial counter ``n``; trial ``n`` fires iff
+    ``floor((n + 1) * rate) > floor(n * rate)`` — the evenly-spaced
+    deterministic sequence hitting exactly ``rate`` of trials (rate 0.1
+    fires trials 9, 19, 29, ...; rate 1 fires every trial).
+    """
+
+    def __init__(self, rules=(), state_dir: str | None = None):
+        self._rules: dict[str, FaultRule] = {}
+        for rule in rules:
+            self._rules[rule.point] = rule
+        self._state_dir = state_dir
+        self._lock = threading.Lock()
+        self._trials = {point: 0 for point in POINTS}
+        self._fired = {point: 0 for point in POINTS}
+
+    @classmethod
+    def from_spec(cls, spec: str, state_dir: str | None = None) -> "FaultInjector":
+        """Parse the ``REPRO_FAULTS`` grammar; raises ValueError on bad specs."""
+        rules = []
+        for part in (spec or "").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            fields = part.split(":")
+            if len(fields) < 2 or len(fields) > 4:
+                raise ValueError(
+                    f"bad fault spec {part!r}; expected point:rate[:param[:max_fires]]"
+                )
+            point = fields[0].strip()
+            try:
+                rate = float(fields[1])
+                param = (
+                    float(fields[2])
+                    if len(fields) > 2 and fields[2] != ""
+                    else _DEFAULT_PARAMS.get(point, 0.0)
+                )
+                max_fires = int(fields[3]) if len(fields) > 3 else 0
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec {part!r}: {exc}") from exc
+            rules.append(FaultRule(point, rate, param=param, max_fires=max_fires))
+        return cls(rules, state_dir=state_dir)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._rules)
+
+    def rule(self, point: str) -> FaultRule | None:
+        return self._rules.get(point)
+
+    def should_fire(self, point: str) -> bool:
+        """Count one trial at ``point``; True when this trial fires."""
+        rule = self._rules.get(point)
+        if rule is None or rule.rate <= 0.0:
+            return False
+        with self._lock:
+            n = self._trials[point]
+            self._trials[point] = n + 1
+            if math.floor((n + 1) * rule.rate) <= math.floor(n * rule.rate):
+                return False
+            if rule.max_fires and not self._claim_fire_locked(rule):
+                return False
+            self._fired[point] += 1
+            return True
+
+    def _claim_fire_locked(self, rule: FaultRule) -> bool:
+        if self._state_dir is None:
+            return self._fired[rule.point] < rule.max_fires
+        # Cross-process budget: one O_EXCL ticket file per allowed fire, so
+        # forked workers (whose counters restart) still share one budget.
+        for i in range(rule.max_fires):
+            path = os.path.join(self._state_dir, f"{rule.point}.fired.{i}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False
+            os.close(fd)
+            return True
+        return False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "rules": {
+                    point: {
+                        "rate": rule.rate,
+                        "param": rule.param,
+                        "max_fires": rule.max_fires,
+                    }
+                    for point, rule in self._rules.items()
+                },
+                "trials": {p: n for p, n in self._trials.items() if n},
+                "fired": {p: n for p, n in self._fired.items() if n},
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-global injector (env-configured, re-parsed when the env changes)
+# ----------------------------------------------------------------------
+_global_lock = threading.Lock()
+_injector: FaultInjector | None = None
+_snapshot: tuple[str, str | None] | None = None
+
+
+def get_injector() -> FaultInjector:
+    """The process-global injector for the current ``REPRO_FAULTS`` env."""
+    global _injector, _snapshot
+    spec = os.environ.get(FAULTS_ENV, "")
+    state_dir = os.environ.get(FAULTS_STATE_ENV) or None
+    with _global_lock:
+        if _injector is None or _snapshot != (spec, state_dir):
+            if state_dir:
+                os.makedirs(state_dir, exist_ok=True)
+            _injector = FaultInjector.from_spec(spec, state_dir=state_dir)
+            _snapshot = (spec, state_dir)
+        return _injector
+
+
+def reset() -> None:
+    """Drop the global injector (fresh counters on next :func:`get_injector`)."""
+    global _injector, _snapshot
+    with _global_lock:
+        _injector = None
+        _snapshot = None
+
+
+def should_fire(point: str) -> bool:
+    return get_injector().should_fire(point)
+
+
+def sleep_if(point: str = "slow_compile") -> bool:
+    """Sleep the rule's ``param`` seconds when the point fires."""
+    injector = get_injector()
+    rule = injector.rule(point)
+    if rule is None or not injector.should_fire(point):
+        return False
+    time.sleep(rule.param if rule.param > 0 else _DEFAULT_PARAMS.get(point, 0.25))
+    return True
+
+
+def raise_if(point: str, exc_factory=None) -> None:
+    """Raise (factory result, or :class:`InjectedFault`) when the point fires."""
+    if should_fire(point):
+        if exc_factory is not None:
+            raise exc_factory()
+        raise InjectedFault(f"injected fault at {point!r}", kind=point)
+
+
+def crash_if(point: str = "worker_crash") -> None:
+    """Thread-executor crash: raise the retryable :class:`WorkerCrashFault`."""
+    if should_fire(point):
+        raise WorkerCrashFault()
+
+
+def exit_if(point: str = "worker_crash", code: int = 86) -> None:
+    """Process-worker crash: hard ``os._exit`` — no cleanup, no excuses.
+
+    The parent observes exactly what a segfault produces: a dead worker and
+    a ``BrokenProcessPool`` on every in-flight future.
+    """
+    if should_fire(point):
+        os._exit(code)
+
+
+def partial_cut(total: int, point: str = "partial_write") -> int | None:
+    """Byte count to truncate a ``total``-byte response to, or None (no cut)."""
+    injector = get_injector()
+    rule = injector.rule(point)
+    if rule is None or not injector.should_fire(point):
+        return None
+    fraction = rule.param if 0.0 < rule.param < 1.0 else 0.5
+    return max(0, min(total - 1, int(total * fraction)))

@@ -41,6 +41,7 @@ __all__ = [
     "SCHEMA",
     "JOB_KINDS",
     "JobStatus",
+    "JobError",
     "CompileRequest",
     "JobRecord",
     "envelope",
@@ -63,9 +64,27 @@ class JobStatus:
     RUNNING = "running"
     DONE = "done"
     ERROR = "error"
+    CANCELLED = "cancelled"
 
-    ALL = (QUEUED, RUNNING, DONE, ERROR)
-    TERMINAL = (DONE, ERROR)
+    ALL = (QUEUED, RUNNING, DONE, ERROR, CANCELLED)
+    TERMINAL = (DONE, ERROR, CANCELLED)
+
+
+class JobError(RuntimeError):
+    """Typed job-execution failure.
+
+    ``kind`` classifies the failure for operators and the retry policy —
+    ``"worker_crash"``, ``"timeout"``, ``"transient_io"``, ``"cancelled"``,
+    ``"shutdown"``, or the catch-all ``"exception"`` — and lands on
+    :attr:`JobRecord.error_kind` when the job settles.  ``retryable`` marks
+    whether a bounded re-dispatch of the same work may plausibly succeed
+    (a crashed worker or a transient I/O error: yes; a bad request: no).
+    """
+
+    def __init__(self, message: str, kind: str = "exception", retryable: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
 
 
 @dataclass(frozen=True)
@@ -81,6 +100,12 @@ class CompileRequest:
     against, so ``map`` jobs accept it exactly when the kind is
     architecture-adaptive.  ``arch_weight`` tunes that kind's distance
     blend and is rejected for every other kind.
+
+    ``deadline`` is a per-attempt execution budget in seconds enforced by
+    the queue (it overrides the server's ``--job-timeout`` default).  Like
+    the engine hints it is *excluded* from :meth:`coalesce_key` — it shapes
+    how the work runs, not what the work is — so when identical requests
+    coalesce, the first submitter's deadline governs the shared job.
     """
 
     case: str
@@ -90,6 +115,7 @@ class CompileRequest:
     arch_weight: float | None = None
     term_order: str = "mutual"
     lookahead: int | None = None
+    deadline: float | None = None
     hatt_backend: str = "vector"
     router_backend: str = "vector"
 
@@ -125,6 +151,15 @@ class CompileRequest:
             not isinstance(self.lookahead, int) or self.lookahead < 1
         ):
             raise ValueError(f"lookahead must be a positive int, got {self.lookahead!r}")
+        if self.deadline is not None and (
+            isinstance(self.deadline, bool)
+            or not isinstance(self.deadline, (int, float))
+            or not math.isfinite(self.deadline)
+            or self.deadline <= 0
+        ):
+            raise ValueError(
+                f"deadline must be a finite number of seconds > 0, got {self.deadline!r}"
+            )
         if self.job == "compile" or self.kind == "hatt-arch":
             if self.arch not in ARCHITECTURES:
                 need = "compile jobs" if self.job == "compile" else "hatt-arch requests"
@@ -205,7 +240,11 @@ class JobRecord:
     ``subscribers`` counts how many submissions this record serves — 1 for a
     lone request, N when N identical concurrent requests coalesced onto it.
     ``result`` is the job-family payload (fingerprint/weight for ``map``,
-    routed metrics for ``compile``); ``error`` is set instead on failure.
+    routed metrics for ``compile``); ``error`` is set instead on failure,
+    with ``error_kind`` carrying the :class:`JobError` classification
+    (``"worker_crash"``, ``"timeout"``, ...).  ``attempts`` counts dispatches
+    including retries — a record that settled ``done`` with ``attempts > 1``
+    survived a worker crash or transient fault.
     """
 
     id: str
@@ -217,8 +256,10 @@ class JobRecord:
     fingerprint: str | None = None
     source: str | None = None
     subscribers: int = 1
+    attempts: int = 1
     result: dict | None = None
     error: str | None = None
+    error_kind: str | None = None
 
     @property
     def done(self) -> bool:
@@ -241,8 +282,10 @@ class JobRecord:
             "fingerprint": self.fingerprint,
             "source": self.source,
             "subscribers": self.subscribers,
+            "attempts": self.attempts,
             "result": self.result,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
 
     @classmethod

@@ -33,16 +33,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import math
+import signal
 import threading
 import time
 from urllib.parse import parse_qs, urlsplit
 
-from .queue import JobQueue
+from . import faults
+from .queue import JobQueue, RejectedSubmission
 from .schema import CompileRequest, envelope
 from ..service.store import NAMESPACES
 
 __all__ = ["CompileServer", "BackgroundServer", "run_server"]
+
+logger = logging.getLogger(__name__)
 
 _REASONS = {
     200: "OK",
@@ -52,6 +57,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Request bodies above this are rejected (requests are tiny JSON specs).
@@ -63,11 +69,33 @@ _DEFAULT_WAIT_TIMEOUT = 300.0
 
 
 class _BadRequest(Exception):
-    """Client-side error carrying its HTTP status."""
+    """Client-side error carrying its HTTP status (plus optional headers
+    and extra envelope fields)."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        headers: dict[str, str] | None = None,
+        **extra,
+    ):
         super().__init__(message)
         self.status = status
+        self.headers = headers or {}
+        self.extra = extra
+
+
+class _Unavailable(_BadRequest):
+    """503 with a ``Retry-After`` backpressure hint (load shedding)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        retry_after_s = max(1, math.ceil(retry_after))
+        super().__init__(
+            message,
+            status=503,
+            headers={"Retry-After": str(retry_after_s)},
+            retry_after=retry_after_s,
+        )
 
 
 class CompileServer:
@@ -138,30 +166,41 @@ class CompileServer:
                     await self._respond(
                         writer,
                         exc.status,
-                        envelope("error", None, error=str(exc)),
+                        envelope("error", None, error=str(exc), **exc.extra),
                         close=True,
+                        headers=exc.headers,
                     )
                     break
                 close = headers.get("connection", "").lower() == "close"
+                extra_headers: dict[str, str] = {}
                 try:
                     status, payload = await self._dispatch(method, target, body)
                 except _BadRequest as exc:
-                    status, payload = exc.status, envelope("error", None, error=str(exc))
+                    status = exc.status
+                    payload = envelope("error", None, error=str(exc), **exc.extra)
+                    extra_headers = exc.headers
                 except Exception as exc:  # noqa: BLE001 - must never kill the loop
                     status, payload = 500, envelope(
                         "error", None, error=f"{type(exc).__name__}: {exc}"
                     )
                 self.requests_served += 1
-                await self._respond(writer, status, payload, close=close)
+                await self._respond(
+                    writer, status, payload, close=close, headers=extra_headers
+                )
                 if close:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown unwinds parked keep-alive handlers by cancelling
+            # them; finish normally so streams' connection_made callback
+            # (which calls task.exception()) doesn't re-raise into the loop.
             pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
     @staticmethod
@@ -191,17 +230,30 @@ class CompileServer:
 
     @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, payload: dict, close: bool = False
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            f"\r\n"
-        ).encode("ascii")
-        writer.write(head + body)
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        data = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+        # Chaos hook: drop the connection mid-response so client truncation
+        # handling (idempotent-retry vs typed connection error) is testable.
+        cut = faults.partial_cut(len(data))
+        if cut is not None:
+            writer.write(data[:cut])
+            await writer.drain()
+            raise ConnectionResetError("injected fault: partial response write")
+        writer.write(data)
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -216,12 +268,14 @@ class CompileServer:
             return await self._post_job(body, query)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._get_job(path.removeprefix("/v1/jobs/"))
+        if path.startswith("/v1/jobs/") and method == "DELETE":
+            return self._delete_job(path.removeprefix("/v1/jobs/"))
         if path.startswith("/v1/artifacts/") and method == "GET":
             return self._get_artifact(path.removeprefix("/v1/artifacts/"))
         if path == "/v1/stats" and method == "GET":
             return 200, envelope("stats", self._stats())
         if path == "/v1/healthz" and method == "GET":
-            return 200, envelope("healthz", {"ok": True})
+            return self._healthz()
         if path in ("/v1/jobs", "/v1/stats", "/v1/healthz") or path.startswith(
             ("/v1/jobs/", "/v1/artifacts/")
         ):
@@ -277,23 +331,39 @@ class CompileServer:
         except ValueError as exc:
             raise _BadRequest(str(exc)) from exc
         wait, timeout = self._parse_wait_query(query)
-        record, coalesced = self.queue.submit(request)
+        try:
+            record, coalesced = self.queue.submit(request)
+        except RejectedSubmission as exc:
+            # Load shedding (queue full / breaker open / draining) → 503 +
+            # Retry-After so well-behaved clients back off.
+            raise _Unavailable(str(exc), retry_after=exc.retry_after) from exc
         if wait:
             # Pin while waiting: a submission burst may trim the completed
             # table before we re-read the record, which would 404 this very
             # client's follow-up.
             self.queue.pin(record.id)
             try:
-                future = self.queue.future(record.id)
-                if future is not None:
+                # Bridge the *settlement* future (resolved on every terminal
+                # path — success, error, timeout, cancel, drain), so a
+                # crashed worker can't wedge this hold.
+                settled = self.queue.settlement(record.id)
+                if settled is not None and not record.done:
                     try:
                         await asyncio.wait_for(
-                            asyncio.shield(asyncio.wrap_future(future)), timeout
+                            asyncio.shield(asyncio.wrap_future(settled)), timeout
                         )
-                    except (asyncio.TimeoutError, Exception):  # noqa: B014 - job
-                        # errors surface through the record's status, not the
-                        # transport.
-                        pass
+                    except asyncio.TimeoutError:
+                        pass  # still running: degrade to 202 + polling
+                    except asyncio.CancelledError:
+                        raise  # connection teardown: let the handler unwind
+                    except Exception:  # noqa: BLE001 - settlement futures only
+                        # ever resolve with the record, so anything else is a
+                        # server bug: log it loudly, then degrade to 202 so
+                        # the client still gets a valid (pollable) response.
+                        logger.exception(
+                            "unexpected error awaiting settlement of job %s",
+                            record.id,
+                        )
                 record = self.queue.get(record.id) or record
             finally:
                 self.queue.unpin(record.id)
@@ -305,6 +375,18 @@ class CompileServer:
         if record is None:
             return 404, envelope("error", None, error=f"unknown job {job_id!r}")
         return 200, envelope("jobs.get", record.to_dict())
+
+    def _delete_job(self, job_id: str) -> tuple[int, dict]:
+        record, cancelled = self.queue.cancel(job_id)
+        if record is None:
+            return 404, envelope("error", None, error=f"unknown job {job_id!r}")
+        return 200, envelope("jobs.cancel", record.to_dict(), cancelled=cancelled)
+
+    def _healthz(self) -> tuple[int, dict]:
+        health = self.queue.health()
+        payload = {"ok": health["state"] != "draining", **health}
+        status = 503 if health["state"] == "draining" else 200
+        return status, envelope("healthz", payload)
 
     def _get_artifact(self, fingerprint: str) -> tuple[int, dict]:
         store = self.queue.service.store
@@ -346,9 +428,20 @@ class CompileServer:
 
 
 def run_server(
-    queue: JobQueue, host: str = "127.0.0.1", port: int = 8035, ready=None
+    queue: JobQueue,
+    host: str = "127.0.0.1",
+    port: int = 8035,
+    ready=None,
+    drain_timeout: float = 30.0,
 ) -> None:
-    """Run a server until cancelled (the ``repro serve`` entry point).
+    """Run a server until SIGTERM/SIGINT or cancellation, then drain.
+
+    The graceful-shutdown path: on SIGTERM or SIGINT (installable only from
+    the main thread; elsewhere external cancellation is the stop signal) the
+    listener closes, then :meth:`JobQueue.drain` runs — intake stops,
+    in-flight jobs get ``drain_timeout`` seconds to settle, stragglers are
+    force-settled as ``cancelled`` — so no client is ever left holding a
+    wedged ``running`` record.
 
     ``ready`` (optional callable) receives the bound :class:`CompileServer`
     once listening — the CLI uses it to print the address.
@@ -357,14 +450,33 @@ def run_server(
     async def _main() -> None:
         server = CompileServer(queue, host=host, port=port)
         await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread (tests) or unsupported platform
         if ready is not None:
             ready(server)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
         except asyncio.CancelledError:
             pass  # cancelled from outside: clean shutdown
         finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             await server.stop()
+            # Drain off-loop: it blocks on executor settlement.
+            await loop.run_in_executor(None, queue.drain, drain_timeout)
 
     asyncio.run(_main())
 
@@ -418,6 +530,16 @@ class BackgroundServer:
             loop.run_forever()
         finally:
             loop.run_until_complete(server.stop())
+            # Keep-alive connections may still have handler tasks parked on
+            # readline(); unwind them on the live loop so their cleanup
+            # (writer.close) doesn't fire at GC time against a closed loop.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.close()
 
     def start(self) -> "BackgroundServer":
@@ -431,9 +553,26 @@ class BackgroundServer:
         return self
 
     def stop(self) -> None:
+        """Stop the server thread; idempotent (drain() + __exit__ both call
+        it, and the loop may already be closed by the time the second runs)."""
         if self._loop is not None and self._thread is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            if not self._loop.is_closed():
+                try:
+                    self._loop.call_soon_threadsafe(self._loop.stop)
+                except RuntimeError:
+                    pass  # closed between the check and the call
             self._thread.join(timeout=10)
+
+    def drain(self, timeout: float = 30.0) -> dict:
+        """SIGTERM-equivalent for the thread harness: stop the listener,
+        then drain the queue (stop intake, settle or cancel in-flight).
+
+        The queue still belongs to the caller, but draining it is part of
+        the graceful-shutdown contract this harness mirrors.  Returns the
+        queue's drain summary ``{"settled": n, "forced": n}``.
+        """
+        self.stop()
+        return self._queue.drain(timeout)
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()

@@ -196,6 +196,18 @@ class MappingService:
     ) -> str:
         return fingerprint_request(hamiltonian, spec)
 
+    def is_cached(self, fingerprint: str) -> bool:
+        """True when ``fingerprint`` would be served without compiling.
+
+        A cheap containment probe over both cache tiers (memory LRU, then
+        disk store) — the serve-layer circuit breaker uses it to keep
+        answering warm requests while shedding cold compiles.
+        """
+        with self._memory_lock:
+            if fingerprint in self._memory:
+                return True
+        return self.store is not None and self.store.contains(fingerprint)
+
     def get_or_compile(
         self,
         hamiltonian: FermionOperator | MajoranaOperator,

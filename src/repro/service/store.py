@@ -166,6 +166,18 @@ class ArtifactStore:
             self._last_recency_ns = ns
             return ns
 
+    @staticmethod
+    def _write_fault_check() -> None:
+        """Chaos hook: raise before the atomic rename when ``store_write``
+        is armed, proving the cleanup path leaves no partial documents.
+
+        Imported lazily — ``repro.serve`` imports this module at package
+        level, so a top-level import here would be a cycle.
+        """
+        from ..serve import faults
+
+        faults.raise_if("store_write", faults.store_write_error)
+
     def _write_atomic(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -174,6 +186,7 @@ class ArtifactStore:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=2, sort_keys=True)
+            self._write_fault_check()
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -269,6 +269,73 @@ class TestArtifactStore:
         assert ArtifactStore().root == tmp_path / "envcache"
 
 
+class TestStoreFailurePaths:
+    """Injected I/O failures: the store must fail loudly but leave no
+    partial artifacts, and torn reads must stay misses — never crashes."""
+
+    def test_enospc_write_error_leaves_no_partials(self, tmp_path, monkeypatch):
+        from repro.serve import faults
+
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path / "store")
+        fp = "ab" * 32
+        monkeypatch.setenv(faults.FAULTS_ENV, "store_write:1:0:1")
+        faults.reset()
+        try:
+            with pytest.raises(OSError) as err:
+                store.put_mapping(fp, mapping)
+            assert err.value.errno == 28  # ENOSPC
+        finally:
+            monkeypatch.delenv(faults.FAULTS_ENV)
+            faults.reset()
+        # The atomic write protocol (tmp file + os.replace) must leave
+        # neither a destination file nor a stray temp file behind.
+        assert list((tmp_path / "store").rglob("*.tmp")) == []
+        assert not store.mapping_path(fp).exists()
+        assert store.get_mapping(fp) is None
+        assert not store.contains(fp)
+        # The fault budget is spent (max_fires=1): a retry succeeds.
+        store.put_mapping(fp, mapping)
+        assert store.get_mapping(fp) is not None
+
+    def test_torn_read_under_concurrent_eviction_is_a_miss(self, tmp_path):
+        """A corrupted artifact read while the LRU evictor churns the same
+        namespace must return None (and quarantine), never raise."""
+        h = load_case("hubbard:1x2")
+        mapping = compile_mapping(h, MappingSpec(kind="jw").resolve(h))
+        store = ArtifactStore(tmp_path, max_bytes={"mappings": 4000})
+        fp_bad = "0d" * 32
+        stop = threading.Event()
+        churn_errors = []
+
+        def churn():
+            try:
+                i = 0
+                while not stop.is_set() and i < 200:
+                    store.put_mapping(f"{i:064x}", mapping)
+                    i += 1
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                churn_errors.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(50):
+                path = store.mapping_path(fp_bad)
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    path.write_text("{ torn")
+                except FileNotFoundError:
+                    continue  # evictor removed the entry dir mid-plant
+                assert store.get_mapping(fp_bad) is None
+        finally:
+            stop.set()
+            thread.join(timeout=120)
+        assert not churn_errors, churn_errors
+        assert store.stats()["corrupt_dropped"] >= 1
+
+
 class TestMappingService:
     def test_cold_miss_then_memory_then_disk(self, tmp_path):
         h = load_case("hubbard:2x2")
