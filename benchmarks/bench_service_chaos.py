@@ -28,7 +28,6 @@ sheds all count against it.
 """
 
 import os
-import statistics
 import threading
 import time
 from pathlib import Path
@@ -37,6 +36,7 @@ import pytest
 
 from repro.analysis import format_table, write_result, write_result_json
 from repro.models import load_case
+from repro.obs.metrics import BENCH_LATENCY_BUCKETS, latency_summary
 from repro.serve import (
     BackgroundServer,
     CompileRequest,
@@ -72,15 +72,10 @@ JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_chaos.json"
 
 
 def _percentiles(samples):
-    ordered = sorted(samples)
-    def pct(p):  # noqa: E306
-        return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
-    return {
-        "n": len(ordered),
-        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
-        "p99_ms": round(pct(0.99) * 1e3, 3),
-        "max_ms": round(ordered[-1] * 1e3, 3),
-    }
+    # Shared histogram implementation (same buckets the serving metrics use).
+    summary = latency_summary(samples, buckets=BENCH_LATENCY_BUCKETS)
+    summary.pop("min_ms", None)  # keep the historical payload shape
+    return summary
 
 
 def _run_population(bg):

@@ -28,7 +28,6 @@ generation.  Latencies are measured client-side around one ``POST
 """
 
 import os
-import statistics
 import threading
 import time
 from pathlib import Path
@@ -38,6 +37,8 @@ import pytest
 from conftest import full_run
 from repro.analysis import format_table, write_result, write_result_json
 from repro.models import load_case
+from repro.obs.metrics import BENCH_LATENCY_BUCKETS, latency_summary
+from repro.obs.trace import StageTimings
 from repro.serve import BackgroundServer, CompileRequest, JobQueue, ServiceClient
 from repro.service import MappingService
 
@@ -65,16 +66,9 @@ JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_latency.json"
 
 
 def _percentiles(samples):
-    ordered = sorted(samples)
-    def pct(p):  # noqa: E306
-        return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
-    return {
-        "n": len(ordered),
-        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
-        "p99_ms": round(pct(0.99) * 1e3, 3),
-        "min_ms": round(ordered[0] * 1e3, 3),
-        "max_ms": round(ordered[-1] * 1e3, 3),
-    }
+    # Same fine-grained geometric buckets the serving metrics use — bench
+    # percentiles and /v1/metrics histograms come from one implementation.
+    return latency_summary(samples, buckets=BENCH_LATENCY_BUCKETS)
 
 
 def _timed_submit(client, request):
@@ -102,6 +96,22 @@ def latency_bench(tmp_path_factory):
             assert record.source == "compiled"
             cold_lat.append(dt)
             cold_records.append(record)
+
+        # -- stage breakdown of one cold compile ----------------------
+        # A fresh fingerprint (non-default kind) so the compile is cold;
+        # the per-stage spans ride back in the job result's trace block.
+        stage_dt, stage_record = _timed_submit(
+            client, CompileRequest(case=COLD_CASES[0], kind="bk"))
+        assert stage_record.source == "compiled", stage_record.source
+        stage_timings = StageTimings()
+        stage_timings.merge_spans(
+            (stage_record.result.get("trace") or {}).get("spans", []))
+        cold_stage_breakdown = {
+            "case": COLD_CASES[0],
+            "kind": "bk",
+            "wall_seconds": round(stage_dt, 6),
+            **stage_timings.to_dict(),
+        }
 
         # -- warm (serial, uncontended) -------------------------------
         # One client, one request in flight: the pure cache-hit round trip,
@@ -239,6 +249,7 @@ def latency_bench(tmp_path_factory):
         "executor": "thread",
         "workers": 2,
         "cold": cold_stats,
+        "cold_stage_breakdown": cold_stage_breakdown,
         "warm_serial": warm_serial_stats,
         "warm": {**warm_stats, "rps": round(warm_rps, 1),
                  "threads": WARM_THREADS},

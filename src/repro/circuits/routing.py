@@ -36,6 +36,7 @@ sequence on either backend.
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter as _perf_counter
 
 import networkx as nx
 import numpy as np
@@ -253,7 +254,16 @@ def route_circuit(
     dist = distance_matrix(graph)  # also validates node labels + connectivity
     layout = initial_layout(circuit, graph)
     route = _route_vector if backend == "vector" else _route_scalar
-    return route(circuit, graph, dist, layout, lookahead)
+    started = _perf_counter()
+    routed = route(circuit, graph, dist, layout, lookahead)
+    from ..obs.metrics import get_registry
+
+    get_registry().histogram(
+        "repro_routing_seconds",
+        help="Wall time of SWAP-insertion routing runs, by backend.",
+        backend=backend,
+    ).observe(_perf_counter() - started)
+    return routed
 
 
 def _two_qubit_pairs(circuit: Circuit) -> list[tuple[int, ...]]:

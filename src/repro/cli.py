@@ -39,6 +39,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from .analysis import compare_mappings, format_table
 from .backends import BackendConfig
@@ -372,10 +373,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         backends=backends,
         arch_weight=args.arch_weight,
     )
-    report = pipeline.sweep(h, kinds=kinds, architectures=archs, case=args.case)
+    from .obs.trace import TraceContext, activate
+
+    trace_ctx = TraceContext()
+    sweep_started = time.perf_counter()
+    with activate(trace_ctx):
+        report = pipeline.sweep(h, kinds=kinds, architectures=archs, case=args.case)
+    sweep_wall = time.perf_counter() - sweep_started
     if args.json:
         result = report.to_dict()
         result["pipeline"] = dict(pipeline.stats)
+        # Pipeline stages are the authoritative breakdown; the finer
+        # service-level spans (fingerprint, cache lookups, tree build)
+        # overlap them, so they ride in the trace block instead of the
+        # stage table — merging both would double-count wall time.
+        result["timings"] = pipeline.timings.to_dict()
+        result["timings"]["wall_seconds"] = round(sweep_wall, 6)
+        result["trace"] = trace_ctx.to_dict()
+        result["trace_id"] = trace_ctx.trace_id
         if service is not None:
             result["cache"] = service.stats()
         _emit_json("compile", result)
@@ -441,8 +456,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 # serve
 # ----------------------------------------------------------------------
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.logging import configure_logging, set_slow_compile_threshold
     from .serve import EXECUTORS, JobQueue, RetryPolicy, run_server
 
+    configure_logging(fmt=args.log_format, level=args.log_level)
+    if args.slow_compile_threshold is not None:
+        set_slow_compile_threshold(args.slow_compile_threshold)
     if args.executor not in EXECUTORS:
         print(
             f"repro serve: error: unknown --executor {args.executor!r} "
@@ -543,6 +562,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ns: stats["namespaces"][ns] for ns in namespaces
         }
         if args.json:
+            from .obs.metrics import get_registry
+
+            stats["metrics"] = get_registry().snapshot()
             _emit_json("cache.stats", stats)
             return 0
         print(f"cache root:  {stats['root']}")
@@ -719,6 +741,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max attempts per job for retryable failures "
                               "(worker crash, transient store I/O); 1 "
                               "disables retry (default: 3)")
+    p_serve.add_argument("--log-format", choices=("text", "json"),
+                         default="text",
+                         help="log output format (json = one JSON object "
+                              "per line, with trace_id fields)")
+    p_serve.add_argument("--log-level", default="info", metavar="LEVEL",
+                         choices=("debug", "info", "warning", "error"),
+                         help="log verbosity (default: info)")
+    p_serve.add_argument("--slow-compile-threshold", type=float, default=None,
+                         metavar="SECONDS",
+                         help="warn (with trace_id) when a compile exceeds "
+                              "this many seconds (default: "
+                              "$REPRO_SLOW_COMPILE_SECONDS or 30)")
     p_serve.add_argument("--drain-timeout", type=float, default=30.0,
                          metavar="SECONDS",
                          help="graceful-shutdown budget: on SIGTERM/SIGINT "

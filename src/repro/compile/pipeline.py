@@ -31,6 +31,7 @@ from ..circuits import architecture, route_circuit, to_cx_u3, trotter_circuit
 from ..circuits.evolution import TERM_ORDERS
 from ..circuits.routing import DEFAULT_LOOKAHEAD, ROUTER_BACKENDS
 from ..fermion import FermionOperator, MajoranaOperator
+from ..obs.trace import StageTimings, current_trace_id
 from ..service import (
     MappingSpec,
     compile_mapping,
@@ -270,6 +271,9 @@ class CompilationPipeline:
             self.options = replace(self.options, router_backend=backends.router)
         self._graphs: dict[str, object] = {}
         self.stats = {"routed": 0, "circuit_hits": 0}
+        #: Cumulative per-stage wall time across every compile this pipeline
+        #: ran (construction / mapping_apply / ordering / routing / store).
+        self.timings = StageTimings()
 
     # ------------------------------------------------------------------
     def graph(self, arch: str):
@@ -310,13 +314,15 @@ class CompilationPipeline:
             arch=arch if kind == "hatt-arch" else None,
             arch_weight=self.arch_weight if kind == "hatt-arch" else None,
         )
-        mapping, mapping_fp = self._mapping(hamiltonian, spec)
+        with self.timings.time("construction"):
+            mapping, mapping_fp = self._mapping(hamiltonian, spec)
         fp = circuit_fingerprint(
             fingerprint_operator(hamiltonian), mapping_fp, arch, self.options
         )
         store = getattr(self.service, "store", None)
         if store is not None:
-            doc = store.get_circuit_report(fp)
+            with self.timings.time("store"):
+                doc = store.get_circuit_report(fp)
             if doc is not None:
                 try:
                     metrics = RoutedMetrics.from_artifact(doc)
@@ -327,23 +333,26 @@ class CompilationPipeline:
                     return metrics
 
         opts = self.options
-        hq = mapping.map(hamiltonian)
-        table, _ = hq.to_table()
-        pauli_weight = int(table.weights().sum())
-        logical = to_cx_u3(
-            trotter_circuit(
-                hq,
-                time=opts.trotter_time,
-                steps=opts.trotter_steps,
-                order=opts.term_order,
-                suzuki_order=opts.suzuki_order,
+        with self.timings.time("mapping_apply"):
+            hq = mapping.map(hamiltonian)
+            table, _ = hq.to_table()
+            pauli_weight = int(table.weights().sum())
+        with self.timings.time("ordering"):
+            logical = to_cx_u3(
+                trotter_circuit(
+                    hq,
+                    time=opts.trotter_time,
+                    steps=opts.trotter_steps,
+                    order=opts.term_order,
+                    suzuki_order=opts.suzuki_order,
+                )
             )
-        )
         graph = self.graph(arch)
-        routed = route_circuit(
-            logical, graph, lookahead=opts.lookahead, backend=opts.router_backend
-        )
-        final = to_cx_u3(routed.circuit)
+        with self.timings.time("routing"):
+            routed = route_circuit(
+                logical, graph, lookahead=opts.lookahead, backend=opts.router_backend
+            )
+            final = to_cx_u3(routed.circuit)
         metrics = RoutedMetrics(
             kind=kind,
             mapping=mapping.name,
@@ -364,7 +373,15 @@ class CompilationPipeline:
         if kind == "hatt-arch":
             metrics = self._arch_guard(hamiltonian, metrics, arch, spec.n_modes)
         if store is not None:
-            store.put_circuit_report(fp, metrics.artifact())
+            doc = metrics.artifact()
+            trace_id = current_trace_id()
+            if trace_id:
+                # Provenance breadcrumb: which request produced this artifact.
+                # from_artifact ignores non-payload keys, so old readers are
+                # unaffected.
+                doc["trace_id"] = trace_id
+            with self.timings.time("store"):
+                store.put_circuit_report(fp, doc)
         return metrics
 
     def _arch_guard(

@@ -89,6 +89,7 @@ free scan, whose measured slope already matches the predicted N⁴.
 from __future__ import annotations
 
 import math
+import time
 from itertools import combinations
 
 import numpy as np
@@ -804,7 +805,14 @@ def hatt_mapping(
         graph=graph,
         arch_weight=arch_weight,
     )
+    started = time.perf_counter()
     tree = construction.run()
+    from ..obs.metrics import get_registry
+
+    get_registry().histogram(
+        "repro_hatt_construction_seconds",
+        help="Wall time of HATT tree construction runs.",
+    ).observe(time.perf_counter() - started)
     strings = tree.strings_by_leaf_index()
     base = "HATT-arch" if graph is not None else "HATT"
     name = base if vacuum else base + "-unopt"

@@ -1,0 +1,73 @@
+"""Zero-dependency observability: metrics, tracing, structured logging.
+
+The serving and compile layers grew up with ad-hoc counters scattered across
+``JobQueue``, ``MappingService``, and ``ArtifactStore``.  This package is the
+single telemetry seam they all feed now:
+
+* :mod:`.metrics` — a process-local, thread-safe metrics registry
+  (Counter / Gauge / Histogram with labeled families) that renders both a
+  JSON snapshot (``/v1/stats``, ``repro cache stats --json``) and the
+  Prometheus text exposition format (``GET /v1/metrics``);
+* :mod:`.trace` — context-var request tracing: trace IDs, span timers for
+  per-stage compile profiling (fingerprint → lookup → construction →
+  ordering → routing → store), a serializable :class:`~repro.obs.trace
+  .TraceContext` that survives the hop into process-pool workers, and
+  :class:`~repro.obs.trace.StageTimings` accumulators for pipeline/batch
+  stage breakdowns;
+* :mod:`.logging` — a JSON-lines formatter stamping every record with the
+  active trace ID, ``configure_logging`` for ``repro serve --log-format
+  json``, and the slow-compile warning threshold.
+
+Everything here is stdlib-only, so instrumentation can be threaded through
+every layer (including forked workers) without new dependencies.
+"""
+
+from .logging import (
+    JsonFormatter,
+    configure_logging,
+    set_slow_compile_threshold,
+    slow_compile_threshold,
+)
+from .metrics import (
+    BENCH_LATENCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    latency_summary,
+    reset_registry,
+)
+from .trace import (
+    StageTimings,
+    TraceContext,
+    activate,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "BENCH_LATENCY_BUCKETS",
+    "get_registry",
+    "reset_registry",
+    "latency_summary",
+    "TraceContext",
+    "StageTimings",
+    "activate",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+    "JsonFormatter",
+    "configure_logging",
+    "slow_compile_threshold",
+    "set_slow_compile_threshold",
+]

@@ -1,0 +1,137 @@
+"""Structured logging for the serving stack.
+
+:class:`JsonFormatter` renders one JSON object per line with the active
+trace ID stamped in automatically (from the record's ``trace_id`` attribute
+if the caller passed one via ``extra=``, else from the context-var trace).
+:func:`configure_logging` wires the ``repro`` logger for ``repro serve
+--log-format json|text --log-level ...`` — idempotent, so tests can call
+it repeatedly.
+
+The slow-compile warning threshold lives here too: services log a warning
+when a single compile exceeds it.  Default 30 s, overridable via the
+``REPRO_SLOW_COMPILE_SECONDS`` env var or ``--slow-compile-threshold``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+
+from .trace import current_trace_id
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "slow_compile_threshold",
+    "set_slow_compile_threshold",
+]
+
+#: Extra record attributes copied into the JSON document when present.
+_EXTRA_FIELDS = (
+    "trace_id",
+    "job_id",
+    "fingerprint",
+    "stage",
+    "seconds",
+    "status",
+    "reason",
+    "attempts",
+)
+
+_RESERVED = set(_EXTRA_FIELDS)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line, trace-aware."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            doc["trace_id"] = trace_id
+        for field in _EXTRA_FIELDS:
+            if field == "trace_id":
+                continue
+            value = getattr(record, field, None)
+            if value is not None:
+                doc[field] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human-readable line; appends the trace ID when one is active."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            base += f" trace_id={trace_id}"
+        return base
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    fmt: str = "text", level: str = "info", stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger; safe to call more than once."""
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r} (expected text|json)")
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(numeric)
+    logger.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            _TextFormatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    # Replace rather than stack handlers so repeated configuration (tests,
+    # repeated serve calls in one process) doesn't duplicate output.
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    return logger
+
+
+# ----------------------------------------------------------------------
+_DEFAULT_SLOW_COMPILE_SECONDS = 30.0
+_slow_lock = threading.Lock()
+_slow_threshold: float | None = None
+
+
+def slow_compile_threshold() -> float:
+    """Seconds above which a single compile logs a warning."""
+    global _slow_threshold
+    with _slow_lock:
+        if _slow_threshold is None:
+            raw = os.environ.get("REPRO_SLOW_COMPILE_SECONDS", "")
+            try:
+                _slow_threshold = float(raw) if raw else _DEFAULT_SLOW_COMPILE_SECONDS
+            except ValueError:
+                _slow_threshold = _DEFAULT_SLOW_COMPILE_SECONDS
+        return _slow_threshold
+
+
+def set_slow_compile_threshold(seconds: float | None) -> None:
+    """Override the threshold (``None`` re-reads the env var lazily)."""
+    global _slow_threshold
+    with _slow_lock:
+        _slow_threshold = float(seconds) if seconds is not None else None

@@ -1,0 +1,413 @@
+"""Process-local, thread-safe metrics registry.
+
+Three instrument kinds — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` — grouped into labeled families by a
+:class:`MetricsRegistry`.  The registry renders two ways:
+
+* :meth:`MetricsRegistry.snapshot` — a plain-dict view for the JSON
+  surfaces (``/v1/stats``, ``repro cache stats --json``);
+* :meth:`MetricsRegistry.render` — the Prometheus text exposition format
+  for ``GET /v1/metrics``.
+
+Everything is stdlib-only and lock-per-instrument, so hot paths (queue
+settle, cache hit) pay one uncontended lock acquire.  A process-global
+registry (:func:`get_registry`) is the default sink; components accept an
+explicit registry for test isolation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "BENCH_LATENCY_BUCKETS",
+    "get_registry",
+    "reset_registry",
+    "latency_summary",
+]
+
+#: Default histogram bucket upper bounds, in seconds.  Spans sub-millisecond
+#: cache hits through multi-minute cold compiles of large suites.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+def _geometric_buckets(lo: float, hi: float, ratio: float) -> tuple[float, ...]:
+    out = []
+    v = lo
+    while v < hi:
+        out.append(v)
+        v *= ratio
+    out.append(hi)
+    return tuple(out)
+
+
+#: Dense geometric buckets (ratio ~1.15, 100 µs .. 30 s) used by the latency
+#: benches, where p50/p99 must resolve millisecond-scale differences between
+#: cold and warm paths.
+BENCH_LATENCY_BUCKETS = _geometric_buckets(1e-4, 30.0, 1.15)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, live jobs)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are finite upper bounds; an implicit ``+Inf`` bucket catches
+    overflow.  Bucket counts are cumulative when rendered.  The exact
+    minimum/maximum observed values are tracked so interpolated quantiles
+    can be clamped to the true data range.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ValueError("histogram needs at least one bucket")
+        if any(not math.isfinite(b) for b in uppers):
+            raise ValueError("buckets must be finite; +Inf is implicit")
+        self._lock = threading.Lock()
+        self.buckets = uppers
+        self._counts = [0] * (len(uppers) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``[(le, cumulative_count), ...]`` ending with ``(inf, total)``."""
+        with self._lock:
+            counts = list(self._counts)
+        out = []
+        running = 0
+        for upper, n in zip(self.buckets, counts[:-1]):
+            running += n
+            out.append((upper, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile (prometheus ``histogram_quantile``
+        style), clamped to the exact observed min/max."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            lo, hi = self._min, self._max
+        if total == 0:
+            return math.nan
+        rank = q * total
+        running = 0.0
+        lower = 0.0
+        for i, upper in enumerate(self.buckets):
+            next_running = running + counts[i]
+            if next_running >= rank and counts[i] > 0:
+                frac = (rank - running) / counts[i]
+                est = lower + (upper - lower) * frac
+                return min(max(est, lo), hi)
+            running = next_running
+            lower = upper
+        return hi  # rank landed in the +Inf bucket
+
+    def summary(self) -> dict:
+        with self._lock:
+            total = self._count
+            s = self._sum
+            lo, hi = self._min, self._max
+        out = {
+            "count": total,
+            "sum": s,
+            "min": lo if total else None,
+            "max": hi if total else None,
+        }
+        if total:
+            out["p50"] = self.quantile(0.5)
+            out["p99"] = self.quantile(0.99)
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All children of one metric name, keyed by their label values."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "label_names", "children", "_lock")
+
+    def __init__(self, name: str, kind: str, help: str, buckets) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.label_names: tuple[str, ...] | None = None
+        self.children: dict[tuple[tuple[str, str], ...], object] = {}
+        self._lock = threading.Lock()
+
+    def child(self, labels: dict[str, str]):
+        names = tuple(sorted(labels))
+        key = tuple((k, str(labels[k])) for k in names)
+        with self._lock:
+            if self.label_names is None:
+                self.label_names = names
+            elif self.label_names != names:
+                raise ValueError(
+                    f"metric {self.name!r} used with labels {names}, "
+                    f"previously {self.label_names}"
+                )
+            inst = self.children.get(key)
+            if inst is None:
+                if self.kind == "histogram":
+                    inst = Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+                else:
+                    inst = _KINDS[self.kind]()
+                self.children[key] = inst
+            return inst
+
+    def items(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
+        with self._lock:
+            return sorted(self.children.items())
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(pairs: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metric families.
+
+    Accessors (:meth:`counter`, :meth:`gauge`, :meth:`histogram`) create the
+    family and the labeled child on first use, so call sites never need a
+    separate registration step::
+
+        REG.counter("repro_jobs_total", state="done").inc()
+        REG.histogram("repro_compile_seconds").observe(dt)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str, buckets=None) -> _Family:
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = _Family(name, kind, help, buckets)
+                self._families[name] = fam
+            elif fam.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {fam.kind}, requested as {kind}"
+                )
+            else:
+                if help and not fam.help:
+                    fam.help = help
+            return fam
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._family(name, "counter", help).child(labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._family(name, "gauge", help).child(labels)
+
+    def histogram(
+        self, name: str, help: str = "", buckets=None, **labels: str
+    ) -> Histogram:
+        return self._family(name, "histogram", help, buckets).child(labels)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{name: {kind, values|summary by label-str}}``."""
+        with self._lock:
+            families = list(self._families.values())
+        out = {}
+        for fam in sorted(families, key=lambda f: f.name):
+            values = {}
+            for key, inst in fam.items():
+                label = ",".join(f"{k}={v}" for k, v in key) or ""
+                if fam.kind == "histogram":
+                    values[label] = inst.summary()
+                else:
+                    values[label] = inst.value
+            out[fam.name] = {"kind": fam.kind, "values": values}
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for fam in sorted(families, key=lambda f: f.name):
+            items = fam.items()
+            if not items:
+                continue
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            for key, inst in items:
+                if fam.kind == "histogram":
+                    for upper, cumulative in inst.cumulative_counts():
+                        le = _format_value(upper)
+                        label = _label_str(key, extra=f'le="{le}"')
+                        lines.append(f"{fam.name}_bucket{label} {cumulative}")
+                    label = _label_str(key)
+                    lines.append(
+                        f"{fam.name}_sum{label} {_format_value(inst.sum)}"
+                    )
+                    lines.append(f"{fam.name}_count{label} {inst.count}")
+                else:
+                    label = _label_str(key)
+                    lines.append(
+                        f"{fam.name}{label} {_format_value(inst.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _GLOBAL
+
+
+def reset_registry() -> None:
+    """Clear the global registry (test isolation)."""
+    _GLOBAL.reset()
+
+
+def latency_summary(samples, buckets=None) -> dict:
+    """Percentile summary of ``samples`` (seconds) via the shared histogram.
+
+    Returns the bench-report shape ``{n, p50_ms, p99_ms, min_ms, max_ms}``.
+    p50/p99 are bucket-interpolated (same math the server-side histograms
+    use), min/max are exact.
+    """
+    hist = Histogram(buckets or BENCH_LATENCY_BUCKETS)
+    for s in samples:
+        hist.observe(s)
+    if not hist.count:
+        return {"n": 0, "p50_ms": None, "p99_ms": None, "min_ms": None, "max_ms": None}
+    return {
+        "n": hist.count,
+        "p50_ms": round(hist.quantile(0.5) * 1000.0, 3),
+        "p99_ms": round(hist.quantile(0.99) * 1000.0, 3),
+        "min_ms": round(hist.summary()["min"] * 1000.0, 3),
+        "max_ms": round(hist.summary()["max"] * 1000.0, 3),
+    }

@@ -1,0 +1,176 @@
+"""Request tracing: trace IDs, span timers, stage-timing accumulators.
+
+A :class:`TraceContext` is a trace ID plus an append-only list of recorded
+spans ``{"stage", "seconds"}``.  The active context lives in a
+``contextvars.ContextVar`` — :func:`activate` installs one for a ``with``
+block, :func:`span` times a stage against whichever context is active (and
+mirrors the duration into the global metrics registry as
+``repro_stage_seconds{stage=...}``).
+
+Context vars do not cross process boundaries, so :class:`TraceContext` is
+deliberately a plain-data object: ``to_dict`` / ``from_dict`` round-trip it
+through the pickled arguments of a ProcessPool worker, which re-activates
+it, records its spans, and ships them back inside the job result.
+
+:class:`StageTimings` is the aggregate counterpart — per-stage total
+seconds and call counts — used by ``CompilationPipeline`` and
+``SuiteReport`` for batch-level stage profiles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+import uuid
+from contextvars import ContextVar
+
+from .metrics import get_registry
+
+__all__ = [
+    "TraceContext",
+    "StageTimings",
+    "activate",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+]
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+class TraceContext:
+    """One request's trace: an ID and the spans recorded under it."""
+
+    def __init__(self, trace_id: str | None = None):
+        self.trace_id = trace_id or new_trace_id()
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []
+
+    def record(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._spans.append({"stage": stage, "seconds": seconds})
+
+    @property
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return [dict(s) for s in self._spans]
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total seconds per stage across all recorded spans."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s["stage"]] = out.get(s["stage"], 0.0) + s["seconds"]
+        return out
+
+    def extend(self, spans: list[dict]) -> None:
+        """Merge spans recorded elsewhere (e.g. in a pool worker)."""
+        with self._lock:
+            for s in spans:
+                self._spans.append(
+                    {"stage": str(s["stage"]), "seconds": float(s["seconds"])}
+                )
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "spans": self.spans}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TraceContext":
+        ctx = cls(trace_id=str(doc["trace_id"]))
+        ctx.extend(doc.get("spans", []))
+        return ctx
+
+
+_CURRENT: ContextVar[TraceContext | None] = ContextVar("repro_trace", default=None)
+
+
+@contextlib.contextmanager
+def activate(ctx: TraceContext):
+    """Install ``ctx`` as the active trace for the ``with`` block."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def current_trace() -> TraceContext | None:
+    return _CURRENT.get()
+
+
+def current_trace_id() -> str | None:
+    ctx = _CURRENT.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextlib.contextmanager
+def span(stage: str, registry=None):
+    """Time a stage: record into the active trace (if any) and the
+    ``repro_stage_seconds`` histogram."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        ctx = _CURRENT.get()
+        if ctx is not None:
+            ctx.record(stage, dt)
+        reg = registry if registry is not None else get_registry()
+        reg.histogram(
+            "repro_stage_seconds",
+            help="Time spent per pipeline/service stage.",
+            stage=stage,
+        ).observe(dt)
+
+
+class StageTimings:
+    """Thread-safe per-stage accumulator: total seconds + call count."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, list[float]] = {}  # stage -> [seconds, count]
+
+    def add(self, stage: str, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            slot = self._stages.setdefault(stage, [0.0, 0])
+            slot[0] += seconds
+            slot[1] += count
+
+    @contextlib.contextmanager
+    def time(self, stage: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - t0)
+
+    def merge_spans(self, spans: list[dict]) -> None:
+        for s in spans:
+            self.add(str(s["stage"]), float(s["seconds"]))
+
+    def merge(self, other: "StageTimings") -> None:
+        for stage, (seconds, count) in other.items():
+            self.add(stage, seconds, count)
+
+    def items(self) -> list[tuple[str, tuple[float, int]]]:
+        with self._lock:
+            return sorted(
+                (k, (v[0], v[1])) for k, v in self._stages.items()
+            )
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(v[0] for v in self._stages.values())
+
+    def to_dict(self) -> dict:
+        stages = {
+            stage: {"seconds": round(seconds, 6), "count": count}
+            for stage, (seconds, count) in self.items()
+        }
+        return {
+            "stages": stages,
+            "stage_total_seconds": round(self.total_seconds(), 6),
+        }

@@ -77,6 +77,9 @@ class ServiceClient:
         self.host = host
         self.port = port
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        #: ``trace`` block of the most recent submit envelope (trace_id +
+        #: server handler duration), or ``None`` before the first submit.
+        self.last_trace: dict | None = None
 
     # ------------------------------------------------------------------
     def _call(
@@ -135,6 +138,7 @@ class ServiceClient:
             if timeout is not None:
                 path += f"&timeout={timeout}"
         _status, doc = self._call("POST", path, body=request, command="jobs.submit")
+        self.last_trace = doc.get("trace")
         return JobRecord.from_dict(doc["result"])
 
     def job(self, job_id: str) -> JobRecord:
@@ -161,6 +165,23 @@ class ServiceClient:
     def stats(self) -> dict:
         _status, doc = self._call("GET", "/v1/stats", command="stats")
         return doc["result"]
+
+    def metrics(self) -> str:
+        """GET /v1/metrics — Prometheus text exposition (not an envelope)."""
+        try:
+            self._conn.request("GET", "/v1/metrics")
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive: reconnect and retry once (GET is idempotent).
+            self._conn.close()
+            self._conn.request("GET", "/v1/metrics")
+            response = self._conn.getresponse()
+            raw = response.read()
+        text = raw.decode("utf-8")
+        if response.status >= 400:
+            raise ServiceError(response.status, text)
+        return text
 
     def healthy(self) -> bool:
         try:

@@ -47,6 +47,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ..obs.metrics import get_registry
 from .schema import JobError
 
 __all__ = [
@@ -191,7 +192,12 @@ class FaultInjector:
             if rule.max_fires and not self._claim_fire_locked(rule):
                 return False
             self._fired[point] += 1
-            return True
+        get_registry().counter(
+            "repro_faults_fired_total",
+            help="Injected faults fired, by point.",
+            point=point,
+        ).inc()
+        return True
 
     def _claim_fire_locked(self, rule: FaultRule) -> bool:
         if self._state_dir is None:

@@ -74,6 +74,8 @@ from concurrent.futures import (
 from dataclasses import dataclass
 
 from ..models import load_case
+from ..obs.metrics import get_registry
+from ..obs.trace import TraceContext, activate, new_trace_id
 from ..service import MappingService, pool_context
 from . import faults
 from .schema import CompileRequest, JobError, JobRecord, JobStatus
@@ -218,8 +220,28 @@ class CircuitBreaker:
             }
 
 
-def _run_request(request: CompileRequest, service: MappingService) -> dict:
-    """Execute one request against a service; the job-family dispatch."""
+def _run_request(
+    request: CompileRequest,
+    service: MappingService,
+    trace_ctx: TraceContext | None = None,
+) -> dict:
+    """Execute one request against a service; the job-family dispatch.
+
+    When a :class:`TraceContext` is supplied it is activated for the whole
+    execution (so service/pipeline spans land on it) and serialized into the
+    result's ``trace`` block — the vehicle that carries worker-side spans
+    back across a process boundary.
+    """
+    if trace_ctx is None:
+        out = _run_request_traced(request, service)
+    else:
+        with activate(trace_ctx):
+            out = _run_request_traced(request, service)
+        out["trace"] = trace_ctx.to_dict()
+    return out
+
+
+def _run_request_traced(request: CompileRequest, service: MappingService) -> dict:
     faults.sleep_if("slow_compile")
     h = load_case(request.case)
     if request.job == "map":
@@ -255,19 +277,29 @@ def _run_request(request: CompileRequest, service: MappingService) -> dict:
         "fingerprint": metrics.fingerprint,
         "source": metrics.source,
         "metrics": metrics.to_dict(),
+        "timings": pipeline.timings.to_dict(),
     }
 
 
-def execute_request(request_doc: dict, cache_dir: str | None, use_disk: bool) -> dict:
+def execute_request(
+    request_doc: dict,
+    cache_dir: str | None,
+    use_disk: bool,
+    trace: dict | None = None,
+) -> dict:
     """Process-pool entry point (module-level, picklable).
 
     Workers build their own :class:`MappingService` over the shared cache
     directory; the parent's disk store sees every artifact they write.
+    ``trace`` is a serialized :class:`TraceContext` — context vars don't
+    cross process boundaries, so the trace rides the pickled arguments in
+    and the result's ``trace`` block out.
     """
     faults.exit_if("worker_crash")
     request = CompileRequest.from_dict(request_doc)
     service = MappingService(cache_dir=cache_dir, use_disk=use_disk)
-    return _run_request(request, service)
+    trace_ctx = TraceContext.from_dict(trace) if trace is not None else None
+    return _run_request(request, service, trace_ctx=trace_ctx)
 
 
 def _classify(exc: BaseException) -> tuple[str, bool]:
@@ -325,12 +357,18 @@ class JobQueue:
         max_pending: int | None = None,
         retry: RetryPolicy | None | bool = None,
         breaker: CircuitBreaker | None | bool = None,
+        registry=None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
         self.service = service if service is not None else MappingService(cache_dir)
+        # Share the service's registry unless the caller isolates one; both
+        # default to the process-global registry.
+        self.registry = registry if registry is not None else getattr(
+            self.service, "registry", None
+        ) or get_registry()
         self.executor_kind = executor
         workers = max(1, int(workers))
         self.workers = workers
@@ -381,6 +419,42 @@ class JobQueue:
             "shed_draining": 0,
         }
 
+    #: Per-queue counter name → global registry metric (name, help, labels).
+    #: Terminal states share one ``repro_jobs_total`` family; sheds share
+    #: ``repro_jobs_shed_total`` — the Prometheus-idiomatic shapes.
+    _METRIC_MAP = {
+        "submitted": ("repro_jobs_submitted_total", "Jobs submitted (incl. coalesced).", {}),
+        "coalesced": ("repro_jobs_coalesced_total", "Submissions coalesced onto an in-flight job.", {}),
+        "executed": ("repro_jobs_total", "Jobs settled, by terminal state.", {"state": "done"}),
+        "errors": ("repro_jobs_total", "Jobs settled, by terminal state.", {"state": "error"}),
+        "cancelled": ("repro_jobs_total", "Jobs settled, by terminal state.", {"state": "cancelled"}),
+        "retried": ("repro_job_retries_total", "Job attempts re-dispatched after retryable failures.", {}),
+        "timeouts": ("repro_job_timeouts_total", "Jobs settled by the deadline watchdog.", {}),
+        "worker_crashes": ("repro_worker_crashes_total", "Worker-crash failures observed.", {}),
+        "pool_rebuilds": ("repro_pool_rebuilds_total", "Process pools rebuilt after breaking.", {}),
+        "shed_full": ("repro_jobs_shed_total", "Submissions shed, by reason.", {"reason": "queue_full"}),
+        "shed_breaker": ("repro_jobs_shed_total", "Submissions shed, by reason.", {"reason": "breaker_open"}),
+        "shed_draining": ("repro_jobs_shed_total", "Submissions shed, by reason.", {"reason": "draining"}),
+    }
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """The single choke point every queue counter goes through.
+
+        Increments the per-queue counter (``stats()`` back-compat) and the
+        process-global registry metric in one place, so no code path can
+        bump one without the other.  Callers may hold ``self._lock``; the
+        registry's per-instrument locks never reach back into the queue, so
+        the nesting cannot deadlock.
+        """
+        self._counters[name] += n
+        metric, help_text, labels = self._METRIC_MAP[name]
+        self.registry.counter(metric, help=help_text, **labels).inc(n)
+
+    def _set_depth_locked(self) -> None:
+        self.registry.gauge(
+            "repro_queue_depth", help="Live (queued + running) jobs."
+        ).set(self._live)
+
     def _make_pool(self):
         if self.executor_kind == "process":
             return ProcessPoolExecutor(
@@ -393,7 +467,9 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Submission, coalescing, load shedding
     # ------------------------------------------------------------------
-    def submit(self, request: CompileRequest) -> tuple[JobRecord, bool]:
+    def submit(
+        self, request: CompileRequest, trace_id: str | None = None
+    ) -> tuple[JobRecord, bool]:
         """Enqueue one request; returns ``(record, coalesced)``.
 
         ``coalesced=True`` means an identical request was already in flight
@@ -401,6 +477,9 @@ class JobQueue:
         Raises :class:`QueueFull` / :class:`BreakerOpen` /
         :class:`ServiceDraining` when shed — never for coalesced
         submissions, which cost nothing.
+
+        ``trace_id`` stamps the job's trace (one is minted when omitted).
+        A coalesced submission keeps the in-flight job's original trace.
         """
         key = request.coalesce_key()
         with self._lock:
@@ -409,7 +488,7 @@ class JobQueue:
                 return coalesced, True
             breaker_open = self._breaker is not None and self._breaker.is_open()
             if not breaker_open:
-                record = self._accept_locked(request, key)
+                record = self._accept_locked(request, key, trace_id)
                 dispatch = True
             else:
                 dispatch = False
@@ -418,7 +497,7 @@ class JobQueue:
             # outside the lock (it fingerprints the Hamiltonian).
             if not self._probe_warm(request):
                 with self._lock:
-                    self._counters["shed_breaker"] += 1
+                    self._count("shed_breaker")
                 raise BreakerOpen(
                     "circuit breaker open (failure-rate spike): cold compiles "
                     "shed; warm cache hits still served",
@@ -429,13 +508,13 @@ class JobQueue:
                 coalesced = self._coalesce_locked(key)
                 if coalesced is not None:
                     return coalesced, True
-                record = self._accept_locked(request, key)
+                record = self._accept_locked(request, key, trace_id)
         self._dispatch(record)
         return record, False
 
     def _coalesce_locked(self, key: str) -> JobRecord | None:
         if self._draining:
-            self._counters["shed_draining"] += 1
+            self._count("shed_draining")
             raise ServiceDraining(
                 "service is draining for shutdown; not accepting new jobs",
                 retry_after=30.0,
@@ -445,30 +524,34 @@ class JobQueue:
             record = self._jobs[jid]
             if not record.done:
                 record.subscribers += 1
-                self._counters["submitted"] += 1
-                self._counters["coalesced"] += 1
+                self._count("submitted")
+                self._count("coalesced")
                 return record
         return None
 
-    def _accept_locked(self, request: CompileRequest, key: str) -> JobRecord:
+    def _accept_locked(
+        self, request: CompileRequest, key: str, trace_id: str | None = None
+    ) -> JobRecord:
         if self.max_pending is not None and self._live >= self.max_pending:
-            self._counters["shed_full"] += 1
+            self._count("shed_full")
             raise QueueFull(
                 f"queue at capacity ({self._live} live jobs >= "
                 f"max_pending={self.max_pending})",
                 retry_after=min(30.0, 1.0 + 0.25 * self._live),
             )
-        self._counters["submitted"] += 1
+        self._count("submitted")
         record = JobRecord(
             id=f"j{next(self._ids):08d}",
             request=request,
             status=JobStatus.QUEUED,
             created_at=time.time(),
+            trace_id=trace_id or new_trace_id(),
         )
         self._jobs[record.id] = record
         self._by_key[key] = record.id
         self._settled[record.id] = Future()
         self._live += 1
+        self._set_depth_locked()
         self._trim_locked()
         return record
 
@@ -507,7 +590,11 @@ class JobQueue:
                 store = self.service.store
                 cache_dir = str(store.root) if store is not None else None
                 future = self._pool.submit(
-                    execute_request, request.to_dict(), cache_dir, store is not None
+                    execute_request,
+                    request.to_dict(),
+                    cache_dir,
+                    store is not None,
+                    {"trace_id": record.trace_id, "spans": []},
                 )
             else:
                 future = self._pool.submit(self._run_local, record)
@@ -535,7 +622,16 @@ class JobQueue:
             record.status = JobStatus.RUNNING
             record.started_at = time.time()
         faults.crash_if("worker_crash")
-        return _run_request(record.request, self.service)
+        # Activate the trace here rather than passing trace_ctx down —
+        # tests monkeypatch _run_request with two-argument fakes, so the
+        # (request, service) call shape is part of the contract.
+        trace_ctx = TraceContext(record.trace_id)
+        with activate(trace_ctx):
+            out = _run_request(record.request, self.service)
+        if isinstance(out, dict) and "trace" not in out:
+            out = dict(out)
+            out["trace"] = trace_ctx.to_dict()
+        return out
 
     def _arm_deadline(self, record: JobRecord, future: Future) -> None:
         timeout = record.request.deadline or self.job_timeout
@@ -557,7 +653,7 @@ class JobQueue:
             if record.done or self._futures.get(record.id) is not future:
                 return  # settled, or a retry superseded this attempt
             timeout = record.request.deadline or self.job_timeout
-            self._counters["timeouts"] += 1
+            self._count("timeouts")
             self._settle_locked(
                 record,
                 error=(
@@ -599,7 +695,7 @@ class JobQueue:
                 return
             gen = self._job_gen.get(record.id)
             if kind == "worker_crash":
-                self._counters["worker_crashes"] += 1
+                self._count("worker_crashes")
             if (
                 retryable
                 and self._retry is not None
@@ -609,7 +705,7 @@ class JobQueue:
                 record.attempts += 1
                 record.status = JobStatus.QUEUED
                 record.started_at = None
-                self._counters["retried"] += 1
+                self._count("retried")
                 # Drop this attempt's future/watchdog so stale callbacks
                 # can't settle the record while the retry is pending.
                 self._futures.pop(record.id, None)
@@ -644,7 +740,7 @@ class JobQueue:
             self._retry_timers.pop(record.id, None)
             if record.done or self._draining:
                 if not record.done:
-                    self._counters["cancelled"] += 1
+                    self._count("cancelled")
                     self._settle_locked(
                         record,
                         error="service drained before the retry could run",
@@ -664,7 +760,7 @@ class JobQueue:
             self._pool_gen += 1
             old = self._pool
             self._pool = self._make_pool()
-            self._counters["pool_rebuilds"] += 1
+            self._count("pool_rebuilds")
         old.shutdown(wait=False)
 
     # ------------------------------------------------------------------
@@ -691,18 +787,23 @@ class JobQueue:
             record.fingerprint = result.get("fingerprint")
             record.source = result.get("source")
             record.status = JobStatus.DONE
-            self._counters["executed"] += 1
+            self._count("executed")
         else:
             record.error = error
             record.error_kind = kind
             record.status = status or JobStatus.ERROR
             if record.status == JobStatus.ERROR:
-                self._counters["errors"] += 1
+                self._count("errors")
         record.finished_at = time.time()
+        self.registry.histogram(
+            "repro_job_seconds",
+            help="Job wall time, submission to settlement.",
+        ).observe(max(0.0, record.finished_at - record.created_at))
         key = record.request.coalesce_key()
         if self._by_key.get(key) == record.id:
             del self._by_key[key]
         self._live = max(0, self._live - 1)
+        self._set_depth_locked()
         self._job_gen.pop(record.id, None)
         for table in (self._timers, self._retry_timers):
             timer = table.pop(record.id, None)
@@ -752,7 +853,7 @@ class JobQueue:
                 record.subscribers -= 1
                 return record, False
             future = self._futures.get(job_id)
-            self._counters["cancelled"] += 1
+            self._count("cancelled")
             self._settle_locked(
                 record,
                 error="cancelled by client request",
@@ -907,7 +1008,7 @@ class JobQueue:
                 future = self._futures.get(record.id)
                 if future is not None:
                     to_cancel.append(future)
-                self._counters["cancelled"] += 1
+                self._count("cancelled")
                 self._settle_locked(
                     record,
                     error=(
@@ -941,7 +1042,7 @@ class JobQueue:
                     future = self._futures.get(record.id)
                     if future is not None:
                         to_cancel.append(future)
-                    self._counters["cancelled"] += 1
+                    self._count("cancelled")
                     self._settle_locked(
                         record,
                         error="service shut down before the job completed",

@@ -244,7 +244,10 @@ class JobRecord:
     with ``error_kind`` carrying the :class:`JobError` classification
     (``"worker_crash"``, ``"timeout"``, ...).  ``attempts`` counts dispatches
     including retries — a record that settled ``done`` with ``attempts > 1``
-    survived a worker crash or transient fault.
+    survived a worker crash or transient fault.  ``trace_id`` is the
+    request's end-to-end trace identifier: stamped at submission, carried
+    through the executor (including process-pool workers), and echoed in
+    the envelope's ``trace`` block and artifact provenance.
     """
 
     id: str
@@ -260,6 +263,7 @@ class JobRecord:
     result: dict | None = None
     error: str | None = None
     error_kind: str | None = None
+    trace_id: str | None = None
 
     @property
     def done(self) -> bool:
@@ -286,6 +290,7 @@ class JobRecord:
             "result": self.result,
             "error": self.error,
             "error_kind": self.error_kind,
+            "trace_id": self.trace_id,
         }
 
     @classmethod

@@ -16,6 +16,8 @@ GET       ``/v1/artifacts/{fp}``  fetch a stored artifact by fingerprint
                                   (mapping document or routed-circuit
                                   metrics, whichever namespace holds it)
 GET       ``/v1/stats``           queue + service + store counters
+GET       ``/v1/metrics``         Prometheus text exposition of the metrics
+                                  registry (the scrape endpoint)
 GET       ``/v1/healthz``         liveness probe
 ========  ======================  ===========================================
 
@@ -43,6 +45,7 @@ from urllib.parse import parse_qs, urlsplit
 from . import faults
 from .queue import JobQueue, RejectedSubmission
 from .schema import CompileRequest, envelope
+from ..obs.trace import new_trace_id
 from ..service.store import NAMESPACES
 
 __all__ = ["CompileServer", "BackgroundServer", "run_server"]
@@ -66,6 +69,14 @@ _MAX_BODY = 1 << 20
 #: Default cap on one ``?wait=1`` hold (seconds); clients pass ``timeout=``
 #: to shorten it.  Long compiles past the cap degrade to 202 + polling.
 _DEFAULT_WAIT_TIMEOUT = 300.0
+
+
+class _RawText:
+    """A non-JSON response payload (the ``/v1/metrics`` scrape body)."""
+
+    def __init__(self, text: str, content_type: str = "text/plain; version=0.0.4"):
+        self.text = text
+        self.content_type = content_type
 
 
 class _BadRequest(Exception):
@@ -173,6 +184,7 @@ class CompileServer:
                     break
                 close = headers.get("connection", "").lower() == "close"
                 extra_headers: dict[str, str] = {}
+                started = time.perf_counter()
                 try:
                     status, payload = await self._dispatch(method, target, body)
                 except _BadRequest as exc:
@@ -184,6 +196,9 @@ class CompileServer:
                         "error", None, error=f"{type(exc).__name__}: {exc}"
                     )
                 self.requests_served += 1
+                self._observe_http(
+                    method, target, status, time.perf_counter() - started
+                )
                 await self._respond(
                     writer, status, payload, close=close, headers=extra_headers
                 )
@@ -232,14 +247,19 @@ class CompileServer:
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | _RawText,
         close: bool = False,
         headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, _RawText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
@@ -259,7 +279,41 @@ class CompileServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _route_label(target: str) -> str:
+        """Coarse route label for metrics (ids collapsed, unknowns bucketed)."""
+        path = urlsplit(target).path.rstrip("/")
+        if path == "/v1/jobs":
+            return "/v1/jobs"
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/{id}"
+        if path.startswith("/v1/artifacts/"):
+            return "/v1/artifacts/{fp}"
+        if path in ("/v1/stats", "/v1/healthz", "/v1/metrics"):
+            return path
+        return "other"
+
+    def _observe_http(
+        self, method: str, target: str, status: int, seconds: float
+    ) -> None:
+        registry = self.queue.registry
+        route = self._route_label(target)
+        registry.counter(
+            "repro_http_requests_total",
+            help="HTTP requests served, by method/route/status.",
+            method=method,
+            route=route,
+            status=str(status),
+        ).inc()
+        registry.histogram(
+            "repro_http_request_seconds",
+            help="HTTP request handling time.",
+            route=route,
+        ).observe(seconds)
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict | _RawText]:
         parts = urlsplit(target)
         path = parts.path.rstrip("/")
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
@@ -274,11 +328,13 @@ class CompileServer:
             return self._get_artifact(path.removeprefix("/v1/artifacts/"))
         if path == "/v1/stats" and method == "GET":
             return 200, envelope("stats", self._stats())
+        if path == "/v1/metrics" and method == "GET":
+            return 200, _RawText(self.queue.registry.render())
         if path == "/v1/healthz" and method == "GET":
             return self._healthz()
-        if path in ("/v1/jobs", "/v1/stats", "/v1/healthz") or path.startswith(
-            ("/v1/jobs/", "/v1/artifacts/")
-        ):
+        if path in (
+            "/v1/jobs", "/v1/stats", "/v1/metrics", "/v1/healthz"
+        ) or path.startswith(("/v1/jobs/", "/v1/artifacts/")):
             return 405, envelope("error", None, error=f"{method} not allowed on {path}")
         return 404, envelope("error", None, error=f"no route for {path!r}")
 
@@ -322,6 +378,8 @@ class CompileServer:
         return wait, timeout
 
     async def _post_job(self, body: bytes, query: dict[str, str]) -> tuple[int, dict]:
+        handler_started = time.perf_counter()
+        trace_id = new_trace_id()
         try:
             doc = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -332,10 +390,16 @@ class CompileServer:
             raise _BadRequest(str(exc)) from exc
         wait, timeout = self._parse_wait_query(query)
         try:
-            record, coalesced = self.queue.submit(request)
+            record, coalesced = self.queue.submit(request, trace_id=trace_id)
         except RejectedSubmission as exc:
             # Load shedding (queue full / breaker open / draining) → 503 +
             # Retry-After so well-behaved clients back off.
+            logger.warning(
+                "shed submission (503 %s): %s",
+                type(exc).__name__,
+                exc,
+                extra={"trace_id": trace_id, "reason": type(exc).__name__},
+            )
             raise _Unavailable(str(exc), retry_after=exc.retry_after) from exc
         if wait:
             # Pin while waiting: a submission burst may trim the completed
@@ -368,7 +432,16 @@ class CompileServer:
             finally:
                 self.queue.unpin(record.id)
         status = 200 if record.done else 202
-        return status, envelope("jobs.submit", record.to_dict(), coalesced=coalesced)
+        # The envelope's trace block: the job's end-to-end trace ID (a
+        # coalesced submission inherits the in-flight job's trace) plus how
+        # long this handler held the request.
+        trace = {
+            "trace_id": record.trace_id or trace_id,
+            "duration_ms": round((time.perf_counter() - handler_started) * 1000.0, 3),
+        }
+        return status, envelope(
+            "jobs.submit", record.to_dict(), coalesced=coalesced, trace=trace
+        )
 
     def _get_job(self, job_id: str) -> tuple[int, dict]:
         record = self.queue.get(job_id)
@@ -415,6 +488,13 @@ class CompileServer:
 
     def _stats(self) -> dict:
         out = self.queue.stats()
+        # The load-shedding view: current depth plus the Retry-After hint a
+        # 503 would carry right now (same formula QueueFull uses), so
+        # operators can see backpressure before clients feel it.
+        depth = out.get("live", 0)
+        out["queue_depth"] = depth
+        out["retry_after_hint"] = round(min(30.0, 1.0 + 0.25 * depth), 3)
+        out["metrics"] = self.queue.registry.snapshot()
         out["server"] = {
             "host": self.host,
             "port": self.port,

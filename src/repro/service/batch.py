@@ -29,6 +29,7 @@ from ..analysis.tables import format_table
 from ..fermion import FermionOperator
 from ..mappings.io import mapping_from_dict, mapping_to_dict
 from ..models import load_case
+from ..obs.trace import StageTimings, TraceContext, activate
 from .fingerprint import MAPPING_KINDS, MappingSpec, fingerprint_request
 from .service import MappingService
 
@@ -105,6 +106,9 @@ class SuiteReport:
     n_unique: int = 0
     jobs: int = 1
     wall_seconds: float = 0.0
+    #: Per-stage wall-time breakdown aggregated across every compile of the
+    #: run — including spans recorded inside pool workers and shipped back.
+    timings: StageTimings = field(default_factory=StageTimings)
 
     @property
     def n_tasks(self) -> int:
@@ -155,6 +159,7 @@ class SuiteReport:
             "jobs": self.jobs,
             "wall_seconds": round(self.wall_seconds, 6),
             "total_compile_seconds": round(self.total_compile_seconds, 6),
+            "timings": self.timings.to_dict(),
             "tasks": [t.to_dict() for t in self.tasks],
         }
 
@@ -193,18 +198,24 @@ def _spec_for(
 # ----------------------------------------------------------------------
 # Worker side (must stay module-level picklable)
 # ----------------------------------------------------------------------
-def _compile_worker(args: tuple) -> tuple[str, dict | None, str, float, str | None]:
+def _compile_worker(
+    args: tuple,
+) -> tuple[str, dict | None, str, float, str | None, list[dict]]:
     """Compile one unique fingerprint in a worker process.
 
-    Returns ``(fingerprint, mapping_doc, source, compile_seconds, error)``;
-    the mapping travels back as its schema-v2 JSON document (plain dict, no
-    custom pickling surface).
+    Returns ``(fingerprint, mapping_doc, source, compile_seconds, error,
+    spans)``; the mapping travels back as its schema-v2 JSON document (plain
+    dict, no custom pickling surface) and ``spans`` carries the worker-side
+    stage timings — context vars don't cross processes, so the trace rides
+    the return value.
     """
     h, kind, hatt_backend, arch, arch_weight, cache_dir, use_disk, expected_fp = args
+    trace_ctx = TraceContext()
     try:
         spec = _spec_for(kind, hatt_backend, arch, arch_weight)
         service = MappingService(cache_dir=cache_dir, use_disk=use_disk)
-        result = service.get_or_compile(h, spec)
+        with activate(trace_ctx):
+            result = service.get_or_compile(h, spec)
         if result.fingerprint != expected_fp:  # pragma: no cover - sanity
             raise RuntimeError(
                 f"worker fingerprint {result.fingerprint[:12]} != "
@@ -216,9 +227,17 @@ def _compile_worker(args: tuple) -> tuple[str, dict | None, str, float, str | No
             result.source,
             result.compile_seconds,
             None,
+            trace_ctx.spans,
         )
     except Exception as exc:  # noqa: BLE001 - reported per-task, never fatal
-        return (expected_fp, None, "error", 0.0, f"{type(exc).__name__}: {exc}")
+        return (
+            expected_fp,
+            None,
+            "error",
+            0.0,
+            f"{type(exc).__name__}: {exc}",
+            trace_ctx.spans,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +313,7 @@ def iter_compile_suite(
     arch: str | None = None,
     arch_weight: float | None = None,
     evaluate: bool = True,
+    timings: StageTimings | None = None,
 ) -> Iterator[TaskResult]:
     """Stream :class:`TaskResult`\\ s for a suite as compiles complete.
 
@@ -301,6 +321,8 @@ def iter_compile_suite(
     duplicate tasks ride along for free.  ``use_cache=False`` disables the
     disk store (each run recompiles; parallel dedup still applies).
     ``arch``/``arch_weight`` configure any ``hatt-arch`` tasks in the suite.
+    ``timings`` (optional) accumulates per-stage wall time across every
+    compile — worker spans included.
     """
     tasks = expand_tasks(cases, kinds)
     hams, by_fp, errors = _plan(tasks, hatt_backend, arch, arch_weight)
@@ -311,13 +333,18 @@ def iter_compile_suite(
         for fp, fp_tasks in by_fp.items():
             h = hams[fp_tasks[0].case]
             spec = _spec_for(fp_tasks[0].kind, hatt_backend, arch, arch_weight)
+            trace_ctx = TraceContext()
             try:
-                result = service.get_or_compile(h, spec)
+                with activate(trace_ctx):
+                    result = service.get_or_compile(h, spec)
             except Exception as exc:  # noqa: BLE001 - keep the suite going
                 for task in fp_tasks:
                     yield TaskResult(task.case, task.kind, fingerprint=fp,
                                      error=f"{type(exc).__name__}: {exc}")
                 continue
+            finally:
+                if timings is not None:
+                    timings.merge_spans(trace_ctx.spans)
             for task in fp_tasks:
                 yield _evaluate(task, fp, result.mapping, result.source,
                                 result.compile_seconds, hams[task.case], evaluate)
@@ -341,7 +368,9 @@ def iter_compile_suite(
                 fp = futures[future]
                 fp_tasks = by_fp[fp]
                 try:
-                    fp_result, doc, source, secs, err = future.result()
+                    fp_result, doc, source, secs, err, spans = future.result()
+                    if timings is not None:
+                        timings.merge_spans(spans)
                 except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
                     # A dead worker (OOM kill, segfault) must cost its own
                     # tasks, not the rest of the suite.
@@ -387,6 +416,7 @@ def compile_suite(
         arch=arch,
         arch_weight=arch_weight,
         evaluate=evaluate,
+        timings=report.timings,
     ):
         report.tasks.append(result)
         if progress is not None:

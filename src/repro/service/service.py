@@ -33,8 +33,13 @@ from ..mappings import (
     jordan_wigner,
     parity_mapping,
 )
+from ..obs.logging import get_logger, slow_compile_threshold
+from ..obs.metrics import get_registry
+from ..obs.trace import current_trace_id, span
 from .fingerprint import MappingSpec, fingerprint_request
 from .store import ArtifactStore
+
+_log = get_logger("repro.service")
 
 __all__ = ["MappingService", "CompileResult", "compile_mapping"]
 
@@ -150,11 +155,15 @@ class MappingService:
         use_disk: bool = True,
         memory_capacity: int = _DEFAULT_MEMORY_CAPACITY,
         max_bytes=None,
+        registry=None,
     ):
+        self.registry = registry if registry is not None else get_registry()
         if store is not None:
             self.store: ArtifactStore | None = store
         elif use_disk:
-            self.store = ArtifactStore(cache_dir, max_bytes=max_bytes)
+            self.store = ArtifactStore(
+                cache_dir, max_bytes=max_bytes, registry=self.registry
+            )
         else:
             self.store = None
         self.memory_capacity = int(memory_capacity)
@@ -187,6 +196,18 @@ class MappingService:
         if evicted:
             with self._stats.lock:
                 self._stats.memory_evictions += evicted
+            self.registry.counter(
+                "repro_cache_evictions_total",
+                help="Cache entries evicted, by namespace (memory tier or store).",
+                namespace="memory",
+            ).inc(evicted)
+
+    def _count_hit(self, tier: str) -> None:
+        self.registry.counter(
+            "repro_cache_hits_total",
+            help="Cache hits, by tier.",
+            tier=tier,
+        ).inc()
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -213,13 +234,16 @@ class MappingService:
         hamiltonian: FermionOperator | MajoranaOperator,
         spec: MappingSpec,
     ) -> CompileResult:
-        spec = spec.resolve(hamiltonian)
-        fp = fingerprint_request(hamiltonian, spec)
+        with span("fingerprint", registry=self.registry):
+            spec = spec.resolve(hamiltonian)
+            fp = fingerprint_request(hamiltonian, spec)
 
-        mapping = self._memory_get(fp)
+        with span("memory_lookup", registry=self.registry):
+            mapping = self._memory_get(fp)
         if mapping is not None:
             with self._stats.lock:
                 self._stats.hits_memory += 1
+            self._count_hit("memory")
             return CompileResult(mapping, fp, "memory",
                                  provenance=getattr(mapping, "provenance", None))
 
@@ -239,20 +263,24 @@ class MappingService:
             if mapping is not None:
                 with self._stats.lock:
                     self._stats.hits_memory += 1
+                self._count_hit("memory")
                 return CompileResult(mapping, fp, "memory",
                                      provenance=getattr(mapping, "provenance", None))
 
             if self.store is not None:
-                mapping = self.store.get_mapping(fp)
+                with span("disk_lookup", registry=self.registry):
+                    mapping = self.store.get_mapping(fp)
                 if mapping is not None:
                     self._memory_put(fp, mapping)
                     with self._stats.lock:
                         self._stats.hits_disk += 1
+                    self._count_hit("disk")
                     return CompileResult(mapping, fp, "disk",
                                          provenance=getattr(mapping, "provenance", None))
 
             start = time.perf_counter()
-            mapping = compile_mapping(hamiltonian, spec)
+            with span("tree_construction", registry=self.registry):
+                mapping = compile_mapping(hamiltonian, spec)
             elapsed = time.perf_counter() - start
             provenance = {
                 "fingerprint": fp,
@@ -266,14 +294,41 @@ class MappingService:
             if spec.kind == "hatt-arch":
                 provenance["arch"] = spec.arch
                 provenance["arch_weight"] = spec.arch_weight
+            trace_id = current_trace_id()
+            if trace_id:
+                provenance["trace_id"] = trace_id
             mapping.provenance = provenance
             if self.store is not None:
-                self.store.put_mapping(fp, mapping, provenance=provenance)
+                with span("store_write", registry=self.registry):
+                    self.store.put_mapping(fp, mapping, provenance=provenance)
             self._memory_put(fp, mapping)
             with self._stats.lock:
                 self._stats.misses += 1
                 self._stats.compiles += 1
                 self._stats.compile_seconds += elapsed
+            self.registry.counter(
+                "repro_cache_misses_total",
+                help="Full cache misses (request went to the compiler).",
+            ).inc()
+            self.registry.counter(
+                "repro_compiles_total", help="Mapping compiles executed."
+            ).inc()
+            self.registry.histogram(
+                "repro_compile_seconds",
+                help="Wall time of mapping compiles.",
+            ).observe(elapsed)
+            if elapsed > slow_compile_threshold():
+                _log.warning(
+                    "slow compile: %s took %.3fs (threshold %.1fs)",
+                    fp,
+                    elapsed,
+                    slow_compile_threshold(),
+                    extra={
+                        "fingerprint": fp,
+                        "seconds": round(elapsed, 3),
+                        "trace_id": trace_id,
+                    },
+                )
             return CompileResult(mapping, fp, "compiled",
                                  compile_seconds=elapsed, provenance=provenance)
         finally:

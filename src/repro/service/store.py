@@ -50,6 +50,7 @@ from pathlib import Path
 
 from ..mappings.base import FermionQubitMapping
 from ..mappings.io import mapping_from_dict, mapping_to_dict
+from ..obs.metrics import get_registry
 
 __all__ = ["ArtifactStore", "NAMESPACES", "default_cache_dir"]
 
@@ -109,8 +110,9 @@ class ArtifactStore:
         the default).
     """
 
-    def __init__(self, root: str | Path | None = None, max_bytes=None):
+    def __init__(self, root: str | Path | None = None, max_bytes=None, registry=None):
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.registry = registry if registry is not None else get_registry()
         self._bases = {ns: self.root / ns / _LAYOUT for ns in NAMESPACES}
         self._caps = _normalize_caps(max_bytes)
         self._evictions = {ns: 0 for ns in NAMESPACES}
@@ -222,6 +224,10 @@ class ArtifactStore:
 
     def _quarantine(self, path: Path) -> None:
         self._corrupt_dropped += 1
+        self.registry.counter(
+            "repro_store_corrupt_dropped_total",
+            help="Corrupt artifact documents quarantined by the store.",
+        ).inc()
         try:
             path.unlink()
         except OSError:
@@ -314,6 +320,12 @@ class ArtifactStore:
                 evicted += 1
             total -= entry["bytes"]
         self._evictions[namespace] += evicted
+        if evicted:
+            self.registry.counter(
+                "repro_cache_evictions_total",
+                help="Cache entries evicted, by namespace (memory tier or store).",
+                namespace=namespace,
+            ).inc(evicted)
         return evicted
 
     # ------------------------------------------------------------------

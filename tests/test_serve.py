@@ -13,7 +13,9 @@ Covers the three tentpole guarantees:
 """
 
 import asyncio
+import http.client
 import json
+import logging
 import threading
 import time
 import urllib.request
@@ -721,3 +723,129 @@ class TestQueryParamValidation:
                          b"Host: x\r\nContent-Length: nope\r\n\r\n")
             data = sock.recv(65536)
         assert data.startswith(b"HTTP/1.1 400")
+
+
+# ----------------------------------------------------------------------
+# Observability: /v1/metrics, trace blocks, enriched stats, shed logging
+# ----------------------------------------------------------------------
+@pytest.fixture
+def observed(tmp_path):
+    """A served stack with its own registry (no global-registry bleed)."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    service = MappingService(cache_dir=tmp_path / "cache", registry=registry)
+    with JobQueue(service=service, workers=2, registry=registry) as q, \
+            BackgroundServer(q) as bg:
+        yield q, bg, registry
+
+
+class TestObservability:
+    def test_envelope_trace_block_round_trip(self, observed):
+        _q, bg, _reg = observed
+        with ServiceClient(bg.host, bg.port) as client:
+            record = client.submit(
+                CompileRequest(case="hubbard:2x2"), wait=True, timeout=120)
+            trace = client.last_trace
+            assert trace is not None
+            assert trace["trace_id"] == record.trace_id
+            assert trace["duration_ms"] >= 0
+            # The worker-side spans carry the same trace id end to end.
+            assert record.result["trace"]["trace_id"] == record.trace_id
+            stages = {s["stage"] for s in record.result["trace"]["spans"]}
+            assert "tree_construction" in stages
+            # And the envelope survives a plain poll too.
+            polled = client.job(record.id)
+            assert polled.trace_id == record.trace_id
+
+    def test_coalesced_submission_inherits_trace_id(self, observed, monkeypatch):
+        queue, bg, _reg = observed
+        gate = threading.Event()
+
+        def slow_run(request, service):
+            assert gate.wait(30)
+            return {"fingerprint": "ab" * 32, "source": "compiled"}
+
+        monkeypatch.setattr(queue_mod, "_run_request", slow_run)
+        with ServiceClient(bg.host, bg.port) as client:
+            first = client.submit(CompileRequest(case="hubbard:2x3"))
+            first_trace = dict(client.last_trace)
+            twin = client.submit(CompileRequest(case="hubbard:2x3"))
+            assert twin.id == first.id
+            assert client.last_trace["trace_id"] == first_trace["trace_id"]
+            gate.set()
+            queue.wait(first.id, timeout=30)
+
+    def test_metrics_endpoint_serves_valid_prometheus(self, observed):
+        from test_obs import parse_prometheus
+
+        _q, bg, _reg = observed
+        with ServiceClient(bg.host, bg.port) as client:
+            cold = client.submit(
+                CompileRequest(case="hubbard:2x2"), wait=True, timeout=120)
+            assert cold.source == "compiled"
+            warm = client.submit(
+                CompileRequest(case="hubbard:2x2"), wait=True, timeout=120)
+            assert warm.source in ("memory", "disk")
+            families = parse_prometheus(client.metrics())
+        assert families["repro_jobs_total"]["type"] == "counter"
+        assert families["repro_jobs_total"]["samples"][
+            'repro_jobs_total{state="done"}'] == 2
+        hits = families["repro_cache_hits_total"]["samples"]
+        assert sum(hits.values()) >= 1
+        compile_hist = families["repro_compile_seconds"]["samples"]
+        assert compile_hist["repro_compile_seconds_count"] == 1
+        assert compile_hist["repro_compile_seconds_sum"] > 0
+        stage_hist = families["repro_stage_seconds"]["samples"]
+        assert any("tree_construction" in k for k in stage_hist)
+        assert families["repro_queue_depth"]["samples"]["repro_queue_depth"] == 0
+        http = families["repro_http_requests_total"]["samples"]
+        assert any('route="/v1/jobs"' in k and 'status="200"' in k
+                   for k in http)
+
+    def test_metrics_endpoint_rejects_post(self, observed):
+        _q, bg, _reg = observed
+        conn = http.client.HTTPConnection(bg.host, bg.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/metrics")
+            resp = conn.getresponse()
+            assert resp.status == 405
+            resp.read()
+        finally:
+            conn.close()
+
+    def test_stats_carry_depth_hint_and_metrics(self, observed):
+        _q, bg, _reg = observed
+        with ServiceClient(bg.host, bg.port) as client:
+            client.submit(
+                CompileRequest(case="hubbard:1x2"), wait=True, timeout=120)
+            stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["retry_after_hint"] == 1.0
+        snap = stats["metrics"]
+        assert snap["repro_jobs_submitted_total"]["values"][""] == 1
+        assert snap["repro_jobs_total"]["values"]["state=done"] == 1
+
+    def test_shed_503_logs_warning_with_trace_id(self, observed, monkeypatch):
+        queue, bg, _reg = observed
+        queue.drain(timeout=0.5)
+        captured = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                captured.append(record)
+
+        server_logger = logging.getLogger("repro.serve.server")
+        handler = Capture(level=logging.WARNING)
+        server_logger.addHandler(handler)
+        try:
+            with ServiceClient(bg.host, bg.port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.submit(CompileRequest(case="hubbard:1x2"))
+            assert err.value.status == 503
+        finally:
+            server_logger.removeHandler(handler)
+        sheds = [r for r in captured if "shed submission" in r.getMessage()]
+        assert sheds, [r.getMessage() for r in captured]
+        assert sheds[0].trace_id
+        assert sheds[0].reason == "ServiceDraining"
