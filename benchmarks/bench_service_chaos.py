@@ -35,7 +35,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import format_table, write_result, write_result_json
-from repro.models import load_case
+from repro.sources import build_case
 from repro.obs.metrics import BENCH_LATENCY_BUCKETS, latency_summary
 from repro.serve import (
     BackgroundServer,
@@ -126,7 +126,7 @@ def _availability(records, errors):
 def chaos_bench(tmp_path_factory):
     base = tmp_path_factory.mktemp("serve-chaos")
     for case in CASES + BURST_CASES:
-        load_case(case)  # construct outside any timer
+        build_case(case)  # construct outside any timer
 
     saved_env = os.environ.get(faults.FAULTS_ENV)
     os.environ.pop(faults.FAULTS_ENV, None)

@@ -36,7 +36,7 @@ import pytest
 
 from conftest import full_run
 from repro.analysis import format_table, write_result, write_result_json
-from repro.models import load_case
+from repro.sources import build_case
 from repro.obs.metrics import BENCH_LATENCY_BUCKETS, latency_summary
 from repro.obs.trace import StageTimings
 from repro.serve import BackgroundServer, CompileRequest, JobQueue, ServiceClient
@@ -81,7 +81,7 @@ def _timed_submit(client, request):
 def latency_bench(tmp_path_factory):
     base = tmp_path_factory.mktemp("serve-bench")
     for case in COLD_CASES + [COALESCE_CASE]:
-        load_case(case)  # construct outside any timer
+        build_case(case)  # construct outside any timer
 
     service = MappingService(cache_dir=base / "cache")
     with JobQueue(service=service, workers=2) as queue, \

@@ -30,8 +30,9 @@ import pytest
 
 from conftest import full_run
 from repro.analysis import format_table, write_result, write_result_json
-from repro.models import load_case
+from repro.models.electronic import case_integrals
 from repro.service import MappingService, MappingSpec, compile_suite
+from repro.sources import build_case, save_npz, write_fcidump
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
 
@@ -79,9 +80,9 @@ def service_bench(tmp_path_factory):
     spec = MappingSpec(kind="hatt")
 
     # Pre-build every Hamiltonian (see methodology note above).
-    h_cold = load_case(COLD_CASE)
+    h_cold = build_case(COLD_CASE)
     for case in SUITE_CASES:
-        load_case(case)
+        build_case(case)
 
     # -- cold vs warm -------------------------------------------------
     cold_dir = _fresh_dir(base, "cold-warm")
@@ -129,6 +130,30 @@ def service_bench(tmp_path_factory):
     )
     warm_suite_s = time.perf_counter() - start
 
+    # -- file-backed frontends ---------------------------------------
+    # The same physics served through files on disk must land on the
+    # warmed store's artifacts: dump one electronic case to FCIDUMP and
+    # two generated cases to .npz archives, then compile the file specs
+    # against the already-populated cache — every task must be a hit.
+    file_dir = base / "file-backed"
+    file_dir.mkdir(exist_ok=True)
+    h_ints, eri, core, nelec = case_integrals("LiH_sto3g")
+    write_fcidump(file_dir / "lih.fcid", h_ints, eri, core, nelec)
+    save_npz(file_dir / "hubbard.npz", build_case("hubbard:3x3"))
+    save_npz(file_dir / "neutrino.npz", build_case("neutrino:4x2F"))
+    file_specs = [
+        f"fcidump:{file_dir / 'lih.fcid'}",
+        f"npz:{file_dir / 'hubbard.npz'}",
+        f"npz:{file_dir / 'neutrino.npz'}",
+    ]
+    start = time.perf_counter()
+    file_report = compile_suite(
+        file_specs, ["hatt"], jobs=1,
+        cache_dir=suite[PARALLEL_JOBS]["cache_dir"], evaluate=False,
+    )
+    file_backed_s = time.perf_counter() - start
+    assert file_report.n_errors == 0, file_report.to_dict()
+
     speedups = {
         "warm_disk": cold_s / warm_disk_s,
         "warm_memory": cold_s / warm_mem_s,
@@ -146,6 +171,9 @@ def service_bench(tmp_path_factory):
          f"{suite[PARALLEL_JOBS]['wall_s']:.3f}", f"{speedups['parallel']:.2f}x"],
         ["suite warm (all cache hits)", f"{warm_suite_s:.3f}",
          f"{speedups['warm_suite']:.1f}x"],
+        [f"file-backed specs x{len(file_specs)} (fcidump+npz, warm store)",
+         f"{file_backed_s:.3f}",
+         f"{file_report.n_cache_hits}/{file_report.n_tasks} hits"],
     ]
     footer = (
         f"floors: warm >= {WARM_FLOOR:.0f}x, parallel >= {PARALLEL_FLOOR:.0f}x "
@@ -172,6 +200,12 @@ def service_bench(tmp_path_factory):
             f"suite_{PARALLEL_JOBS}_workers":
                 round(suite[PARALLEL_JOBS]["wall_s"], 6),
             "suite_warm": round(warm_suite_s, 6),
+            "file_backed_warm": round(file_backed_s, 6),
+        },
+        "file_backed": {
+            "specs": [s.split(":", 1)[0] + ":<tmp>" for s in file_specs],
+            "n_tasks": file_report.n_tasks,
+            "n_cache_hits": file_report.n_cache_hits,
         },
         "speedups": {k: round(v, 2) for k, v in speedups.items()},
         "floors": {"warm": WARM_FLOOR, "parallel": PARALLEL_FLOOR},
@@ -182,19 +216,19 @@ def service_bench(tmp_path_factory):
         # Canonical runs refresh the committed repo-root artifact; smoke runs
         # keep only the results_dir copy.
         write_result_json("service_throughput", payload, path=JSON_PATH)
-    return speedups, warm_report, suite
+    return speedups, warm_report, suite, file_report
 
 
 def test_warm_hit_speedup_floor(service_bench):
     """Acceptance: warm cache hits beat the cold compile by >= 20x."""
-    speedups, _, _ = service_bench
+    speedups, _, _, _ = service_bench
     assert speedups["warm_disk"] >= WARM_FLOOR, speedups
     assert speedups["warm_memory"] >= WARM_FLOOR, speedups
 
 
 def test_parallel_suite_speedup_floor(service_bench):
     """Acceptance: 4 workers >= 2x over 1 worker on the suite (needs cores)."""
-    speedups, _, _ = service_bench
+    speedups, _, _, _ = service_bench
     if (os.cpu_count() or 1) < PARALLEL_JOBS:
         pytest.skip(
             f"parallel floor needs >= {PARALLEL_JOBS} CPUs "
@@ -205,17 +239,26 @@ def test_parallel_suite_speedup_floor(service_bench):
 
 def test_warm_suite_is_all_cache_hits(service_bench):
     """Second pass over a compiled suite is served entirely from the store."""
-    _, warm_report, _ = service_bench
+    _, warm_report, _, _ = service_bench
     assert warm_report.n_tasks == len(SUITE_CASES)
     assert all(t.cache_hit for t in warm_report.tasks), warm_report.to_dict()
 
 
 def test_parallel_and_serial_fingerprints_agree(service_bench):
-    _, _, suite = service_bench
+    _, _, suite, _ = service_bench
     key = lambda r: sorted(  # noqa: E731
         (t.case, t.fingerprint) for t in r["report"].tasks
     )
     assert key(suite[1]) == key(suite[PARALLEL_JOBS])
+
+
+def test_file_backed_specs_hit_warm_store(service_bench):
+    """FCIDUMP/.npz frontends of already-compiled physics are pure hits."""
+    _, _, suite, file_report = service_bench
+    assert file_report.n_tasks == 3
+    assert all(t.cache_hit for t in file_report.tasks), file_report.to_dict()
+    suite_fps = {t.fingerprint for t in suite[PARALLEL_JOBS]["report"].tasks}
+    assert {t.fingerprint for t in file_report.tasks} <= suite_fps
 
 
 def test_json_written(service_bench):

@@ -42,7 +42,7 @@ from conftest import full_run
 from repro.analysis import write_bench_json, write_result
 from repro.circuits import route_circuit, to_cx_u3, trotter_circuit
 from repro.compile import ARCHITECTURES, CompilationPipeline, CompileOptions
-from repro.models import load_case
+from repro.sources import build_case
 from repro.service import MappingSpec, compile_mapping
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
@@ -87,7 +87,7 @@ def table4():
     pipeline = CompilationPipeline()
     reports = {}
     for case in CASES:
-        reports[case] = pipeline.sweep(load_case(case), kinds=KINDS, case=case)
+        reports[case] = pipeline.sweep(build_case(case), kinds=KINDS, case=case)
     content = "\n\n".join(reports[case].table() for case in CASES)
     write_result("table4_compile", content)
     return reports
@@ -96,7 +96,7 @@ def table4():
 @pytest.fixture(scope="module")
 def speedup():
     """Deep-horizon routing time, vector vs scalar, on the largest case."""
-    h = load_case(SPEEDUP_CASE)
+    h = build_case(SPEEDUP_CASE)
     mapping = compile_mapping(h, MappingSpec(kind="jw", n_modes=h.n_modes))
     circuit = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
     from repro.circuits import architecture
@@ -170,7 +170,7 @@ def test_router_backends_bit_identical(table4):
     from repro.circuits import architecture
 
     case = CASES[0]
-    h = load_case(case)
+    h = build_case(case)
     mapping = compile_mapping(h, MappingSpec(kind="hatt", n_modes=h.n_modes))
     circuit = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
     for arch in ARCHITECTURES:
@@ -252,7 +252,7 @@ def test_table4_json_written(bench_json):
 def test_bench_routing(benchmark, arch, table4):
     from repro.circuits import architecture
 
-    h = load_case("H2_sto3g")
+    h = build_case("H2_sto3g")
     mapping = compile_mapping(h, MappingSpec(kind="jw", n_modes=h.n_modes))
     circ = to_cx_u3(trotter_circuit(mapping.map(h), order="mutual"))
     graph = architecture(arch)

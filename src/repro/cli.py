@@ -14,7 +14,8 @@ Commands
              coalescing, LRU-capped caches).
 ``cache``    Inspect or clear the content-addressed artifact cache, per
              namespace (``mappings`` / ``circuits``).
-``cases``    List the built-in benchmark Hamiltonians.
+``cases``    List the registered Hamiltonian sources and built-in cases
+             (``--json`` enumerates the full spec-grammar catalog).
 
 Conventions
 -----------
@@ -25,7 +26,14 @@ Conventions
   (``vector`` / ``scalar`` shorthand, or ``hatt=...,router=...,sim=...``
   pairs; see :class:`repro.backends.BackendConfig`).  The historical
   ``--hatt-backend`` / ``--router-backend`` flags still work as deprecated
-  aliases that override the unified value and warn once per run.
+  aliases that override the unified value; they warn once per run with the
+  exact ``--backend`` replacement string and are scheduled for removal in
+  repro 1.1.
+* **Cases** — every ``case`` argument is a Hamiltonian source spec resolved
+  through the :mod:`repro.sources` registry: built-in generators
+  (``hubbard:2x3``, ``neutrino:3x2F``, electronic names), files
+  (``npz:path``, ``fcidump:path``), or synthetic ensembles
+  (``random:syk:n=24,seed=7``).  ``repro cases`` prints the grammar.
 * **Caching** — ``map``/``compare``/``compile`` use the compilation cache
   when ``--cache-dir`` is given or ``$REPRO_CACHE_DIR`` is set (opt-in, so
   ad-hoc runs leave no state behind); ``batch``/``serve``/``cache`` default
@@ -46,8 +54,8 @@ from .backends import BackendConfig
 from .circuits.routing import ROUTER_BACKENDS
 from .hatt.construction import BACKENDS as HATT_BACKENDS
 from .mappings.io import save_mapping
-from .models import load_case
 from .serve.schema import envelope
+from .sources import build_case, source_catalog
 from .service import (
     MAPPING_KINDS,
     ArtifactStore,
@@ -63,7 +71,7 @@ __all__ = ["main"]
 
 def _load_case(spec: str):
     """Resolve a case spec (kept for backward import compatibility)."""
-    return load_case(spec)
+    return build_case(spec)
 
 
 def _emit_json(command: str, result, **extra) -> None:
@@ -78,17 +86,32 @@ _warned_deprecated: set[str] = set()
 
 _ALIAS_FIELD = {"--hatt-backend": "hatt", "--router-backend": "router"}
 
+#: The release that drops the legacy per-subsystem flags (README "Deprecation
+#: schedule" documents the same date); values given this run accumulate so
+#: the warning always shows the exact combined ``--backend`` replacement.
+_ALIAS_REMOVAL = "repro 1.1"
+_alias_seen: dict[str, str] = {}
+
 
 class _DeprecatedBackendAction(argparse.Action):
-    """Store a legacy per-subsystem engine flag, warning once per run."""
+    """Store a legacy per-subsystem engine flag, warning once per run.
+
+    The warning names the removal release and prints the literal
+    ``--backend hatt=...,router=...`` string that replaces every legacy
+    flag seen so far, ready to paste.
+    """
 
     def __call__(self, parser, namespace, values, option_string=None):
+        field = _ALIAS_FIELD.get(option_string, "?")
+        _alias_seen[field] = values
         if option_string not in _warned_deprecated:
             _warned_deprecated.add(option_string)
-            field = _ALIAS_FIELD.get(option_string, "?")
+            replacement = ",".join(
+                f"{f}={v}" for f, v in sorted(_alias_seen.items())
+            )
             print(
-                f"repro: warning: {option_string} is deprecated; "
-                f"use --backend {field}={values}",
+                f"repro: warning: {option_string} is deprecated and will be "
+                f"removed in {_ALIAS_REMOVAL}; use --backend {replacement}",
                 file=sys.stderr,
             )
         setattr(namespace, self.dest, values)
@@ -218,7 +241,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    h = load_case(args.case)
+    h = build_case(args.case)
     n = h.n_modes
     backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
@@ -268,7 +291,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    h = load_case(args.case)
+    h = build_case(args.case)
     n = h.n_modes
     backends = _resolve_backends(args)
     spec = MappingSpec(
@@ -353,7 +376,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print("repro compile: error: --arch-weight only applies when "
               "--mappings includes hatt-arch", file=sys.stderr)
         return 2
-    h = load_case(args.case)
+    h = build_case(args.case)
     backends = _resolve_backends(args)
     cache_dir = _resolve_cache_dir(args, opt_in=True)
     # hatt-arch mappings are per-architecture; the mapping prewarm can only
@@ -616,9 +639,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_cases(args: argparse.Namespace) -> int:
     from .models.electronic import electronic_case_names
 
+    catalog = source_catalog()
     if args.json:
         _emit_json("cases", {
+            # Registered HamiltonianSource families (prefix, grammar,
+            # examples, file_backed) — the authoritative spec listing.
+            "sources": catalog,
             "electronic": electronic_case_names(),
+            # Legacy per-family keys, kept for consumers of the old shape.
             "hubbard": {"pattern": "hubbard:<AxB>",
                         "examples": ["hubbard:2x2", "hubbard:2x3", "hubbard:3x3"]},
             "neutrino": {"pattern": "neutrino:<NxFF>",
@@ -626,9 +654,15 @@ def _cmd_cases(args: argparse.Namespace) -> int:
             "mappings": list(MAPPING_KINDS),
         })
         return 0
-    print("electronic:", ", ".join(electronic_case_names()))
-    print("hubbard:    hubbard:<AxB>   (paper Table II geometries, e.g. hubbard:2x3)")
-    print("neutrino:   neutrino:<NxFF> (paper Table III cases, e.g. neutrino:3x2F)")
+    print(format_table(
+        "registered Hamiltonian sources (spec grammar)",
+        ["prefix", "grammar", "file-backed", "description"],
+        [[s["prefix"], s["grammar"], "yes" if s["file_backed"] else "no",
+          s["description"]] for s in catalog],
+    ))
+    print("electronic case names:", ", ".join(electronic_case_names()))
+    examples = [ex for s in catalog for ex in s["examples"]]
+    print("examples:", ", ".join(examples))
     return 0
 
 

@@ -13,21 +13,31 @@ __all__ = [
 ]
 
 
+_load_case_warned = False
+
+
 def load_case(spec: str):
-    """Resolve a case spec string to a :class:`~repro.fermion.FermionOperator`.
+    """Deprecated: use :func:`repro.sources.build_case`.
 
-    Specs: ``hubbard:<AxB>`` (e.g. ``hubbard:2x3``), ``neutrino:<NxFF>``
-    (e.g. ``neutrino:3x2F``), or an electronic case name such as
-    ``H2_sto3g`` (see :func:`repro.models.electronic.electronic_case_names`).
-
-    This is the single spec grammar shared by the CLI, the batch
-    orchestrator's worker processes, and the benchmarks, so a spec that
-    names a task in one place names the same Hamiltonian everywhere.
+    The historical entry point for the shared spec grammar; it now
+    delegates to the :mod:`repro.sources` registry, so every spec string
+    it ever accepted (``hubbard:<AxB>``, ``neutrino:<NxFF>``, bare
+    electronic names) still resolves to the identical Hamiltonian — plus
+    every newer registered form (``npz:``, ``fcidump:``, ``random:``).
+    Emits a one-time :class:`DeprecationWarning`; scheduled for removal
+    in repro 1.1.
     """
-    if spec.startswith("hubbard:"):
-        return hubbard_case(spec.split(":", 1)[1])
-    if spec.startswith("neutrino:"):
-        return neutrino_case(spec.split(":", 1)[1])
-    from .electronic import electronic_case
+    global _load_case_warned
+    if not _load_case_warned:
+        _load_case_warned = True
+        import warnings
 
-    return electronic_case(spec).hamiltonian
+        warnings.warn(
+            "repro.models.load_case is deprecated and will be removed in "
+            "repro 1.1; use repro.sources.build_case(spec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from ..sources import build_case
+
+    return build_case(spec)

@@ -187,6 +187,20 @@ def _integrals_for_case(name: str):
     )
 
 
+def case_integrals(name: str):
+    """Public integral access: ``(h, eri, core_energy, n_electrons)``.
+
+    The cheap path for callers that need integrals without the
+    second-quantized operator — the FCIDUMP exporter and the source
+    layer's mode counting both use it.
+    """
+    if name not in ELECTRONIC_CASES:
+        known = ", ".join(ELECTRONIC_CASES)
+        raise ValueError(f"unknown electronic case {name!r}; known: {known}")
+    h, eri, core_energy, n_electrons, _, _ = _integrals_for_case(name)
+    return h, eri, core_energy, n_electrons
+
+
 def electronic_case(name: str) -> ElectronicHamiltonian:
     """Build a paper electronic-structure benchmark case by name."""
     if name not in ELECTRONIC_CASES:

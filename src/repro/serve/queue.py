@@ -73,7 +73,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass
 
-from ..models import load_case
+from ..sources import build_case
 from ..obs.metrics import get_registry
 from ..obs.trace import TraceContext, activate, new_trace_id
 from ..service import MappingService, pool_context
@@ -243,7 +243,7 @@ def _run_request(
 
 def _run_request_traced(request: CompileRequest, service: MappingService) -> dict:
     faults.sleep_if("slow_compile")
-    h = load_case(request.case)
+    h = build_case(request.case)
     if request.job == "map":
         result = service.get_or_compile(h, request.spec())
         mapping = result.mapping
@@ -565,7 +565,7 @@ class JobQueue:
         if request.job != "map":
             return False
         try:
-            h = load_case(request.case)
+            h = build_case(request.case)
             spec = request.spec().resolve(h)
             return self.service.is_cached(self.service.fingerprint(h, spec))
         except Exception:  # noqa: BLE001 - a failing probe is just "cold"

@@ -209,8 +209,22 @@ class CompileRequest:
     # Wire form
     # ------------------------------------------------------------------
     def coalesce_key(self) -> str:
-        """Cross-client coalescing key: the work, minus the engine hints."""
-        return "|".join(f"{name}={getattr(self, name)!r}" for name in self._KEY_FIELDS)
+        """Cross-client coalescing key: the work, minus the engine hints.
+
+        The case spec is canonicalized through the source registry (best
+        effort — an unresolvable case keeps its raw string and fails at
+        execution), so aliases of one Hamiltonian (``H2_sto3g`` vs
+        ``electronic:H2_sto3g``, parameter-tail orderings) coalesce onto a
+        single in-flight compile.
+        """
+        from ..sources import canonical_spec
+
+        values = {name: getattr(self, name) for name in self._KEY_FIELDS}
+        try:
+            values["case"] = canonical_spec(self.case)
+        except ValueError:
+            pass
+        return "|".join(f"{name}={values[name]!r}" for name in self._KEY_FIELDS)
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

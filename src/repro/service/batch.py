@@ -8,12 +8,18 @@ each lands.  With a shared ``cache_dir`` the workers read and repair the
 same content-addressed store the serial service uses, so a warm suite is
 pure cache reads.
 
-Worker processes receive the already-built ``FermionOperator`` (cases are
-constructed once, in the parent, during fingerprint planning — some case
-generators run a Hartree–Fock solve, which must not be repeated per worker)
-and return the compiled mapping as its schema-v2 JSON document.  Per-task
-evaluation (Pauli weight of the mapped Hamiltonian) runs in the parent over
-the already-packed mapping table.
+Cases resolve through the :mod:`repro.sources` registry.  In-memory
+sources (built-in generators) are constructed once, in the parent, during
+fingerprint planning — some case generators run a Hartree–Fock solve,
+which must not be repeated per worker — and ship the built
+``FermionOperator`` to the pool.  **File-backed** sources (``npz:``,
+``fcidump:``, seeded ``random:`` ensembles) ship only their spec string:
+the parent fingerprints them via the streamed path without ever building,
+each worker re-resolves the spec locally, and the worker's
+fingerprint cross-check doubles as a live streamed-vs-in-memory
+bit-identity assertion.  Workers return the compiled mapping as its
+schema-v2 JSON document plus the per-fingerprint Pauli-weight evaluation
+(equal-fingerprint tasks share canonical terms, hence the weight).
 """
 
 from __future__ import annotations
@@ -22,15 +28,20 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
 from ..analysis.tables import format_table
 from ..fermion import FermionOperator
 from ..mappings.io import mapping_from_dict, mapping_to_dict
-from ..models import load_case
 from ..obs.trace import StageTimings, TraceContext, activate
-from .fingerprint import MAPPING_KINDS, MappingSpec, fingerprint_request
+from ..sources import HamiltonianSource, resolve as resolve_source
+from .fingerprint import (
+    MAPPING_KINDS,
+    MappingSpec,
+    fingerprint_request,
+    fingerprint_request_stream,
+)
 from .service import MappingService
 
 __all__ = [
@@ -200,18 +211,28 @@ def _spec_for(
 # ----------------------------------------------------------------------
 def _compile_worker(
     args: tuple,
-) -> tuple[str, dict | None, str, float, str | None, list[dict]]:
+) -> tuple[str, dict | None, str, float, str | None, list[dict], int | None]:
     """Compile one unique fingerprint in a worker process.
 
-    Returns ``(fingerprint, mapping_doc, source, compile_seconds, error,
-    spans)``; the mapping travels back as its schema-v2 JSON document (plain
-    dict, no custom pickling surface) and ``spans`` carries the worker-side
-    stage timings — context vars don't cross processes, so the trace rides
-    the return value.
+    ``payload`` is ``("op", FermionOperator)`` for in-memory sources or
+    ``("spec", str)`` for file-backed ones — the worker re-resolves the
+    spec against its local filesystem/generator instead of unpickling a
+    shipped operator.  Returns ``(fingerprint, mapping_doc, source,
+    compile_seconds, error, spans, pauli_weight)``; the mapping travels
+    back as its schema-v2 JSON document (plain dict, no custom pickling
+    surface) and ``spans`` carries the worker-side stage timings — context
+    vars don't cross processes, so the trace rides the return value.
+
+    For spec-shipped cases the parent's fingerprint came from the streamed
+    path, so the cross-check against the service's in-memory fingerprint
+    is a live bit-identity assertion between the two canonicalizations.
     """
-    h, kind, hatt_backend, arch, arch_weight, cache_dir, use_disk, expected_fp = args
+    (payload, kind, hatt_backend, arch, arch_weight, cache_dir, use_disk,
+     expected_fp, evaluate) = args
     trace_ctx = TraceContext()
     try:
+        mode, value = payload
+        h = value if mode == "op" else resolve_source(value).build()
         spec = _spec_for(kind, hatt_backend, arch, arch_weight)
         service = MappingService(cache_dir=cache_dir, use_disk=use_disk)
         with activate(trace_ctx):
@@ -221,6 +242,7 @@ def _compile_worker(
                 f"worker fingerprint {result.fingerprint[:12]} != "
                 f"parent {expected_fp[:12]} — non-deterministic canonicalization?"
             )
+        weight = result.mapping.map(h).pauli_weight() if evaluate else None
         return (
             expected_fp,
             mapping_to_dict(result.mapping),
@@ -228,6 +250,7 @@ def _compile_worker(
             result.compile_seconds,
             None,
             trace_ctx.spans,
+            weight,
         )
     except Exception as exc:  # noqa: BLE001 - reported per-task, never fatal
         return (
@@ -237,6 +260,7 @@ def _compile_worker(
             0.0,
             f"{type(exc).__name__}: {exc}",
             trace_ctx.spans,
+            None,
         )
 
 
@@ -248,34 +272,63 @@ def _plan(
     hatt_backend: str,
     arch: str | None = None,
     arch_weight: float | None = None,
-) -> tuple[dict[str, FermionOperator], dict[str, list[BatchTask]], list[TaskResult]]:
-    """Load cases, fingerprint every task, group tasks by fingerprint."""
+) -> tuple[
+    dict[str, HamiltonianSource | None],
+    dict[str, FermionOperator],
+    dict[str, list[BatchTask]],
+    list[TaskResult],
+]:
+    """Resolve sources, fingerprint every task, group tasks by fingerprint.
+
+    In-memory sources build their operator here (once, in the parent);
+    file-backed sources are fingerprinted via the streamed path and stay
+    unbuilt — workers resolve the spec themselves.
+    """
+    srcs: dict[str, HamiltonianSource | None] = {}
     hams: dict[str, FermionOperator] = {}
     errors: list[TaskResult] = []
     by_fp: dict[str, list[BatchTask]] = {}
     for task in tasks:
-        if task.case not in hams:
+        if task.case not in srcs:
             try:
-                hams[task.case] = load_case(task.case)
+                srcs[task.case] = resolve_source(task.case)
             except Exception as exc:  # noqa: BLE001 - bad spec → per-task error
                 errors.append(
                     TaskResult(task.case, task.kind,
                                error=f"{type(exc).__name__}: {exc}")
                 )
-                hams[task.case] = None  # type: ignore[assignment]
+                srcs[task.case] = None
                 continue
-        h = hams[task.case]
-        if h is None:
-            errors.append(TaskResult(task.case, task.kind, error="case failed to load"))
+        src = srcs[task.case]
+        if src is None:
+            errors.append(
+                TaskResult(task.case, task.kind, error="case failed to resolve")
+            )
             continue
         try:
             spec = _spec_for(task.kind, hatt_backend, arch, arch_weight)
-            fp = fingerprint_request(h, spec)
+            if src.file_backed:
+                resolved = replace(spec, n_modes=src.n_modes)
+                terms = None
+                if resolved.hamiltonian_dependent:
+                    terms = (
+                        pair for chunk in src.iter_terms() for pair in chunk
+                    )
+                fp = fingerprint_request_stream(terms, resolved)
+            else:
+                if task.case not in hams:
+                    hams[task.case] = src.build()
+                fp = fingerprint_request(hams[task.case], spec)
         except ValueError as exc:  # e.g. hatt-arch without an arch
             errors.append(TaskResult(task.case, task.kind, error=str(exc)))
             continue
+        except Exception as exc:  # noqa: BLE001 - e.g. unreadable backing file
+            errors.append(
+                TaskResult(task.case, task.kind, error=f"{type(exc).__name__}: {exc}")
+            )
+            continue
         by_fp.setdefault(fp, []).append(task)
-    return hams, by_fp, errors
+    return srcs, hams, by_fp, errors
 
 
 def _evaluate(
@@ -284,11 +337,11 @@ def _evaluate(
     mapping,
     source: str,
     compile_seconds: float,
-    h: FermionOperator,
+    h: FermionOperator | None,
     evaluate: bool,
+    weight: int | None = None,
 ) -> TaskResult:
-    weight = None
-    if evaluate and mapping is not None:
+    if weight is None and evaluate and mapping is not None and h is not None:
         weight = mapping.map(h).pauli_weight()
     return TaskResult(
         case=task.case,
@@ -325,16 +378,23 @@ def iter_compile_suite(
     compile — worker spans included.
     """
     tasks = expand_tasks(cases, kinds)
-    hams, by_fp, errors = _plan(tasks, hatt_backend, arch, arch_weight)
+    srcs, hams, by_fp, errors = _plan(tasks, hatt_backend, arch, arch_weight)
     yield from errors
+
+    def ham_for(case: str) -> FermionOperator:
+        """The built operator of a planned case (file-backed build lazily;
+        the source instance caches, so one build serves every fp group)."""
+        if case not in hams:
+            hams[case] = srcs[case].build()  # type: ignore[union-attr]
+        return hams[case]
 
     if jobs <= 1 or len(by_fp) <= 1:
         service = MappingService(cache_dir=cache_dir, use_disk=use_cache)
         for fp, fp_tasks in by_fp.items():
-            h = hams[fp_tasks[0].case]
             spec = _spec_for(fp_tasks[0].kind, hatt_backend, arch, arch_weight)
             trace_ctx = TraceContext()
             try:
+                h = ham_for(fp_tasks[0].case)
                 with activate(trace_ctx):
                     result = service.get_or_compile(h, spec)
             except Exception as exc:  # noqa: BLE001 - keep the suite going
@@ -345,19 +405,33 @@ def iter_compile_suite(
             finally:
                 if timings is not None:
                     timings.merge_spans(trace_ctx.spans)
-            for task in fp_tasks:
+            # Equal-fingerprint tasks share canonical terms, so one mapped
+            # Pauli weight (from the group's representative) serves them all.
+            lead = _evaluate(fp_tasks[0], fp, result.mapping, result.source,
+                             result.compile_seconds, h, evaluate)
+            yield lead
+            for task in fp_tasks[1:]:
                 yield _evaluate(task, fp, result.mapping, result.source,
-                                result.compile_seconds, hams[task.case], evaluate)
+                                result.compile_seconds, None, evaluate,
+                                weight=lead.pauli_weight)
         return
 
-    # Parallel path: one pool task per unique fingerprint.
+    # Parallel path: one pool task per unique fingerprint.  File-backed
+    # sources ship their spec string; workers resolve it locally and also
+    # run the Pauli-weight evaluation, so the parent never builds them.
+    def worker_payload(case: str):
+        src = srcs[case]
+        if src is not None and src.file_backed:
+            return ("spec", src.spec)
+        return ("op", ham_for(case))
+
     max_workers = min(jobs, len(by_fp), os.cpu_count() or 1)
     with ProcessPoolExecutor(max_workers=max_workers, mp_context=pool_context()) as pool:
         futures = {
             pool.submit(
                 _compile_worker,
-                (hams[fp_tasks[0].case], fp_tasks[0].kind, hatt_backend,
-                 arch, arch_weight, cache_dir, use_cache, fp),
+                (worker_payload(fp_tasks[0].case), fp_tasks[0].kind, hatt_backend,
+                 arch, arch_weight, cache_dir, use_cache, fp, evaluate),
             ): fp
             for fp, fp_tasks in by_fp.items()
         }
@@ -367,8 +441,9 @@ def iter_compile_suite(
             for future in done:
                 fp = futures[future]
                 fp_tasks = by_fp[fp]
+                weight = None
                 try:
-                    fp_result, doc, source, secs, err, spans = future.result()
+                    fp_result, doc, source, secs, err, spans, weight = future.result()
                     if timings is not None:
                         timings.merge_spans(spans)
                 except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
@@ -383,7 +458,7 @@ def iter_compile_suite(
                 mapping = mapping_from_dict(doc)
                 for task in fp_tasks:
                     yield _evaluate(task, fp, mapping, source, secs,
-                                    hams[task.case], evaluate)
+                                    None, evaluate, weight=weight)
 
 
 def compile_suite(

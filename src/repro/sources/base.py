@@ -1,0 +1,147 @@
+"""The :class:`HamiltonianSource` protocol.
+
+A source is one place Hamiltonians come from — a built-in generator, a
+cached ``.npz``, an external integral file, a synthetic ensemble — behind
+one interface the CLI, the batch orchestrator, and the serving layer all
+consume:
+
+``spec``
+    The canonical URI-style string naming this exact Hamiltonian
+    (``hubbard:2x3``, ``fcidump:path.fcid``, …).  Specs are the unit of
+    transport: batch workers and served requests ship the spec, not the
+    operator.
+``describe()``
+    Cheap metadata (family, mode count, parameters) without building.
+``build()``
+    The full :class:`~repro.fermion.FermionOperator`, built once and cached
+    on the source instance.
+``iter_terms()``
+    The same terms as chunks of ``(actions, coeff)`` pairs.  File-backed
+    and generator-backed sources override this to stream without ever
+    materializing the operator.
+``fingerprint_stream()``
+    Order-invariant content fingerprint computed from ``iter_terms()`` —
+    bit-identical to ``fingerprint_operator(build())``, with bounded
+    memory, so a Hamiltonian too large to build can still hit the service
+    cache.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from ..fermion import FermionOperator
+
+__all__ = ["HamiltonianSource", "DEFAULT_CHUNK_SIZE", "parse_params", "format_params"]
+
+DEFAULT_CHUNK_SIZE = 4096
+
+
+class HamiltonianSource(ABC):
+    """One pluggable Hamiltonian frontend; see the module docstring."""
+
+    #: Registry prefix family this source belongs to (``"hubbard"``, …).
+    family: str = ""
+    #: True when the terms live outside process memory (a file on disk, a
+    #: seeded generator): workers re-resolve the spec locally instead of
+    #: receiving a pickled operator.
+    file_backed: bool = False
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self._built: FermionOperator | None = None
+
+    # -- required surface ------------------------------------------------
+    @property
+    @abstractmethod
+    def n_modes(self) -> int:
+        """Mode count, known without building the operator."""
+
+    @abstractmethod
+    def _build(self) -> FermionOperator:
+        """Materialize the operator (uncached; callers use :meth:`build`)."""
+
+    # -- shared machinery ------------------------------------------------
+    def build(self) -> FermionOperator:
+        if self._built is None:
+            self._built = self._build()
+        return self._built
+
+    def iter_terms(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[list[tuple[tuple, complex]]]:
+        """Yield the Hamiltonian's terms in chunks of ``(actions, coeff)``.
+
+        The default materializes via :meth:`build`; streaming sources
+        override it to emit chunks straight from their backing store.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        chunk: list[tuple[tuple, complex]] = []
+        for term, coeff in self.build().terms():
+            chunk.append((term, coeff))
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def fingerprint_stream(
+        self,
+        tol: float | None = None,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        spill_at: int | None = None,
+        tmp_dir: str | None = None,
+    ) -> str:
+        """Content fingerprint from the term stream; see module docstring."""
+        from ..service import fingerprint as _fp
+
+        flat = (
+            pair for chunk in self.iter_terms(chunk_size=chunk_size) for pair in chunk
+        )
+        return _fp.fingerprint_stream(
+            flat,
+            form="fermion",
+            tol=_fp.DEFAULT_TOLERANCE if tol is None else tol,
+            spill_at=_fp.DEFAULT_SPILL_AT if spill_at is None else spill_at,
+            tmp_dir=tmp_dir,
+        )
+
+    def describe(self) -> dict:
+        """Cheap metadata; subclasses extend with their parameters."""
+        return {
+            "spec": self.spec,
+            "family": self.family,
+            "file_backed": self.file_backed,
+            "n_modes": self.n_modes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+def parse_params(text: str, *, allowed: tuple[str, ...]) -> dict[str, str]:
+    """Parse a ``k=v,k=v`` parameter tail, validating key names."""
+    params: dict[str, str] = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or not value.strip():
+            raise ValueError(f"malformed source parameter {part!r}; expected key=value")
+        if key not in allowed:
+            raise ValueError(
+                f"unknown source parameter {key!r}; allowed: {', '.join(allowed)}"
+            )
+        if key in params:
+            raise ValueError(f"duplicate source parameter {key!r}")
+        params[key] = value.strip()
+    return params
+
+
+def format_params(params: dict[str, object]) -> str:
+    """Canonical ``,k=v`` tail (sorted keys; empty when no params)."""
+    if not params:
+        return ""
+    return "," + ",".join(f"{k}={params[k]}" for k in sorted(params))

@@ -114,6 +114,20 @@ class TestCases:
         assert data["hubbard"]["pattern"] == "hubbard:<AxB>"
         assert "hatt" in data["mappings"]
 
+    def test_table_lists_registered_sources(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "registered Hamiltonian sources" in out
+        for prefix in ("electronic", "fcidump", "npz", "random"):
+            assert prefix in out
+
+    def test_json_includes_source_catalog(self, capsys):
+        data = run_json(capsys, ["cases", "--json"])
+        prefixes = {s["prefix"] for s in data["sources"]}
+        assert {"electronic", "fcidump", "hubbard", "npz", "random"} <= prefixes
+        for entry in data["sources"]:
+            assert {"grammar", "description", "file_backed"} <= set(entry)
+
 
 class TestBatch:
     def test_batch_json_and_second_pass_hits(self, tmp_path, capsys):
@@ -254,6 +268,16 @@ class TestParser:
         assert "--hatt-backend is deprecated" in capsys.readouterr().err
         assert main(["map", "hubbard:1x2", "--hatt-backend", "scalar"]) == 0
         assert "deprecated" not in capsys.readouterr().err
+
+    def test_deprecated_alias_warning_gives_exact_replacement(self, capsys):
+        import repro.cli as cli
+
+        cli._warned_deprecated.clear()
+        cli._alias_seen.clear()
+        assert main(["map", "hubbard:1x2", "--hatt-backend", "scalar"]) == 0
+        err = capsys.readouterr().err
+        assert "removed in repro 1.1" in err
+        assert "use --backend hatt=scalar" in err
 
     def test_unified_backend_flag_matches_default(self, capsys):
         fast = run_json(capsys, ["map", "hubbard:2x2", "--json"])

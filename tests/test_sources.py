@@ -1,0 +1,497 @@
+"""Tests for the pluggable HamiltonianSource API (repro.sources).
+
+Covers the registry (every spec form, canonicalization, the satellite
+error contract), the back-compat ``load_case`` shim, streamed
+fingerprinting bit-identity, ``.npz``/FCIDUMP round-trips (property-based
+via Hypothesis), the SYK ensemble, and the batch/serve integration.
+"""
+
+import json
+import random
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.models as models
+from repro.fermion import FermionOperator, MajoranaOperator
+from repro.models.electronic import case_integrals, fermion_hamiltonian_from_integrals
+from repro.service import MappingService, MappingSpec, compile_suite
+from repro.service.fingerprint import (
+    fingerprint_operator,
+    fingerprint_request,
+    fingerprint_request_stream,
+    fingerprint_stream,
+)
+from repro.serve.schema import CompileRequest
+from repro.sources import (
+    HamiltonianSource,
+    build_case,
+    canonical_spec,
+    load_npz,
+    read_fcidump,
+    register_source,
+    registered_prefixes,
+    resolve,
+    save_npz,
+    source_catalog,
+    write_fcidump,
+)
+from repro.sources import registry as registry_mod
+
+BUILTIN_CASES = ["hubbard:2x3", "neutrino:2x2F", "H2_sto3g"]
+
+
+# ----------------------------------------------------------------------
+# Registry: every spec form + error contract
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_prefixes_registered(self):
+        assert set(registered_prefixes()) >= {
+            "electronic", "fcidump", "hubbard", "neutrino", "npz", "random"
+        }
+
+    @pytest.mark.parametrize("spec, n_modes", [
+        ("hubbard:2x3", 12),
+        ("hubbard:3x3,bc=open", 18),
+        ("hubbard:2x2,t=1.5,u=8,ordering=blocked", 8),
+        ("neutrino:2x2F", 8),
+        ("neutrino:2x2F,mu=0.05", 8),
+        ("electronic:H2_sto3g", 4),
+        ("H2_sto3g", 4),
+        ("random:syk:n=6,seed=3", 6),
+    ])
+    def test_spec_forms_resolve(self, spec, n_modes):
+        src = resolve(spec)
+        assert src.n_modes == n_modes
+        assert src.build().n_modes <= n_modes
+        doc = src.describe()
+        assert doc["spec"] == src.spec
+        assert doc["n_modes"] == n_modes
+
+    def test_bare_name_is_electronic_alias(self):
+        assert canonical_spec("H2_sto3g") == "electronic:H2_sto3g"
+        a = fingerprint_operator(build_case("H2_sto3g"))
+        b = fingerprint_operator(build_case("electronic:H2_sto3g"))
+        assert a == b
+
+    def test_canonical_spec_normalizes_parameter_tails(self):
+        assert canonical_spec("hubbard:2x3,u=4,t=1") == "hubbard:2x3"
+        assert (canonical_spec("hubbard:2x3,u=8,t=2")
+                == canonical_spec("hubbard:2x3,t=2,u=8"))
+
+    def test_hubbard_default_matches_legacy_generator(self):
+        from repro.models import hubbard_case
+
+        assert fingerprint_operator(build_case("hubbard:2x3")) == \
+            fingerprint_operator(hubbard_case("2x3"))
+
+    def test_hubbard_variants_are_distinct_hamiltonians(self):
+        fps = {
+            fingerprint_operator(build_case(s))
+            for s in ("hubbard:3x3", "hubbard:3x3,bc=open",
+                      "hubbard:3x3,ordering=blocked", "hubbard:3x3,u=8")
+        }
+        assert len(fps) == 4
+
+    def test_unknown_prefix_error_names_everything(self):
+        with pytest.raises(ValueError) as err:
+            build_case("hubard:2x3")
+        msg = str(err.value)
+        assert "hubard:2x3" in msg          # the spec
+        assert "prefix 'hubard'" in msg      # the attempted resolver
+        for prefix in ("hubbard", "fcidump", "npz", "random"):
+            assert prefix in msg             # the registered prefixes
+
+    def test_unknown_bare_name_error_names_resolver(self):
+        with pytest.raises(ValueError) as err:
+            build_case("H2_sto3")
+        msg = str(err.value)
+        assert "H2_sto3" in msg
+        assert "bare electronic name" in msg
+        assert "registered prefixes" in msg
+
+    @pytest.mark.parametrize("bad", [
+        "", "hubbard:9z9", "hubbard:2x3,volume=2", "hubbard:2x3,bc=twisted",
+        "hubbard:2x3,t=1,t=2", "hubbard:2x3,t",
+        "neutrino:2x2", "random:ising:n=4", "random:syk:seed=1",
+        "random:syk:n=two", "npz:", "npz:/no/such/file.npz",
+        "fcidump:/no/such/file.fcid",
+    ])
+    def test_bad_specs_raise_value_error(self, bad):
+        with pytest.raises(ValueError):
+            resolve(bad)
+
+    def test_non_string_spec_raises_type_error(self):
+        with pytest.raises(TypeError):
+            resolve(123)
+
+    def test_register_source_rejects_duplicates_and_bad_prefixes(self):
+        with pytest.raises(ValueError):
+            register_source("hubbard", lambda s: None,
+                            description="x", grammar="x")
+        for bad in ("", "a:b", "a,b", " pad "):
+            with pytest.raises(ValueError):
+                register_source(bad, lambda s: None, description="x", grammar="x")
+
+    def test_custom_source_registration(self):
+        class Toy(HamiltonianSource):
+            family = "toy"
+
+            @property
+            def n_modes(self):
+                return 2
+
+            def _build(self):
+                return FermionOperator.number(0) + FermionOperator.number(1)
+
+        try:
+            register_source("toy", Toy, description="toy model",
+                            grammar="toy:<anything>")
+            src = resolve("toy:x")
+            assert src.n_modes == 2
+            assert len(src.build()) == 2
+            assert any(s["prefix"] == "toy" for s in source_catalog())
+            assert src.fingerprint_stream() == fingerprint_operator(src.build())
+        finally:
+            registry_mod._REGISTRY.pop("toy", None)
+
+    def test_source_catalog_shape(self):
+        for entry in source_catalog():
+            assert set(entry) == {
+                "prefix", "description", "grammar", "examples", "file_backed"
+            }
+            json.dumps(entry)  # must be JSON-serializable for `cases --json`
+
+
+class TestLoadCaseShim:
+    def test_load_case_still_resolves_and_warns_once(self):
+        models._load_case_warned = False
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            h = models.load_case("hubbard:1x2")
+            models.load_case("hubbard:1x2")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.sources.build_case" in str(deprecations[0].message)
+        assert fingerprint_operator(h) == \
+            fingerprint_operator(build_case("hubbard:1x2"))
+
+    def test_load_case_accepts_new_spec_forms(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            h = models.load_case("random:syk:n=4,seed=1")
+        assert h.n_modes <= 4
+
+    def test_load_case_unknown_spec_is_value_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(ValueError):
+                models.load_case("hubard:2x3")
+
+
+# ----------------------------------------------------------------------
+# Streamed fingerprinting: bit-identity with the in-memory path
+# ----------------------------------------------------------------------
+class TestFingerprintStream:
+    @pytest.mark.parametrize("case", BUILTIN_CASES)
+    def test_bit_identical_for_builtin_cases(self, case):
+        h = build_case(case)
+        expected = fingerprint_operator(h)
+        src = resolve(case)
+        assert src.fingerprint_stream() == expected
+        # Tiny spill threshold forces the external-sort path.
+        assert src.fingerprint_stream(spill_at=7) == expected
+        # Chunk size must not matter.
+        assert src.fingerprint_stream(chunk_size=3) == expected
+
+    @pytest.mark.parametrize("case", BUILTIN_CASES)
+    def test_order_invariance(self, case):
+        h = build_case(case)
+        items = list(h.terms())
+        rng = random.Random(11)
+        rng.shuffle(items)
+        assert fingerprint_stream(iter(items), spill_at=13) == \
+            fingerprint_operator(h)
+
+    def test_majorana_form(self):
+        m = MajoranaOperator.from_fermion_operator(build_case("hubbard:1x2"))
+        assert fingerprint_stream(m.terms(), form="majorana") == \
+            fingerprint_operator(m)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_stream(iter([]), form="pauli")
+
+    def test_request_stream_matches_request_adaptive(self):
+        h = build_case("hubbard:1x2")
+        spec = MappingSpec(kind="hatt")
+        expected = fingerprint_request(h, spec)
+        resolved = MappingSpec(kind="hatt", n_modes=h.n_modes)
+        assert fingerprint_request_stream(h.terms(), resolved) == expected
+
+    def test_request_stream_matches_request_static_without_terms(self):
+        h = build_case("hubbard:1x2")
+        spec = MappingSpec(kind="jw")
+        resolved = MappingSpec(kind="jw", n_modes=h.n_modes)
+        assert fingerprint_request_stream(None, resolved) == \
+            fingerprint_request(h, spec)
+
+    def test_request_stream_requires_resolved_modes(self):
+        with pytest.raises(ValueError, match="n_modes"):
+            fingerprint_request_stream(iter([]), MappingSpec(kind="hatt"))
+
+    def test_request_stream_adaptive_requires_terms(self):
+        with pytest.raises(ValueError, match="term stream"):
+            fingerprint_request_stream(None, MappingSpec(kind="hatt", n_modes=4))
+
+    # Property: for ANY term multiset in ANY order (duplicates included),
+    # the streamed digest equals the in-memory digest of the summed operator.
+    fermion_terms = st.lists(
+        st.tuples(
+            st.lists(
+                st.tuples(st.integers(0, 4), st.booleans()),
+                min_size=0, max_size=4,
+            ).map(tuple),
+            st.complex_numbers(
+                max_magnitude=10, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        max_size=25,
+    )
+
+    @given(fermion_terms, st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_property_stream_equals_in_memory(self, items, spill_at):
+        op = FermionOperator()
+        for term, coeff in items:
+            op.add_term(term, coeff)
+        assert fingerprint_stream(iter(items), spill_at=spill_at) == \
+            fingerprint_operator(op)
+
+
+# ----------------------------------------------------------------------
+# .npz round-trip
+# ----------------------------------------------------------------------
+class TestNpzRoundTrip:
+    def test_builtin_case_round_trip(self, tmp_path):
+        h = build_case("neutrino:2x2F")
+        path = tmp_path / "nu.npz"
+        save_npz(path, h)
+        assert load_npz(path) == h
+        src = resolve(f"npz:{path}")
+        assert src.file_backed
+        assert src.n_modes == h.n_modes
+        assert fingerprint_operator(src.build()) == fingerprint_operator(h)
+        assert src.fingerprint_stream() == fingerprint_operator(h)
+        assert src.describe()["n_terms"] == len(h)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        src = resolve(f"npz:{path}")  # header validation is lazy
+        with pytest.raises(ValueError, match="schema"):
+            src.n_modes
+
+    @given(TestFingerprintStream.fermion_terms)
+    @settings(max_examples=40, deadline=None)
+    def test_property_save_load_fingerprint(self, items):
+        import tempfile
+
+        op = FermionOperator()
+        for term, coeff in items:
+            op.add_term(term, coeff)
+        with tempfile.TemporaryDirectory() as d:
+            path = f"{d}/op.npz"
+            save_npz(path, op)
+            loaded = load_npz(path)
+        assert loaded == op
+        assert fingerprint_operator(loaded) == fingerprint_operator(op)
+
+
+# ----------------------------------------------------------------------
+# FCIDUMP round-trip
+# ----------------------------------------------------------------------
+class TestFcidumpRoundTrip:
+    def test_case_round_trip_is_bitwise(self, tmp_path):
+        h, eri, core, nelec = case_integrals("H2_sto3g")
+        path = tmp_path / "h2.fcid"
+        write_fcidump(path, h, eri, core, nelec)
+        h2, eri2, core2, nelec2, _ = read_fcidump(path)
+        assert np.array_equal(h, h2)
+        assert np.array_equal(eri, eri2)
+        assert core == core2 and nelec == nelec2
+
+    def test_source_fingerprint_matches_builtin_case(self, tmp_path):
+        h, eri, core, nelec = case_integrals("H2_sto3g")
+        path = tmp_path / "h2.fcid"
+        write_fcidump(path, h, eri, core, nelec)
+        src = resolve(f"fcidump:{path}")
+        expected = fingerprint_operator(build_case("H2_sto3g"))
+        assert src.file_backed
+        assert src.n_modes == 4
+        assert fingerprint_operator(src.build()) == expected
+        assert src.fingerprint_stream(spill_at=5) == expected
+
+    def test_reads_symmetry_compacted_external_file(self, tmp_path):
+        # External-program style: one line per orbit, Fortran D exponents.
+        path = tmp_path / "ext.fcid"
+        path.write_text(
+            "&FCI NORB=2,NELEC=2,MS2=0,\n ORBSYM=1,1,\n ISYM=1,\n&END\n"
+            "  0.5D0  1 1 1 1\n"
+            "  0.25D0 1 2 1 1\n"
+            "  1.0D0  1 1 0 0\n"
+            " -0.75D0 1 2 0 0\n"
+            "  0.125D0 0 0 0 0\n"
+        )
+        h, eri, core, nelec, ms2 = read_fcidump(path)
+        assert (nelec, ms2, core) == (2, 0, 0.125)
+        assert h[0, 0] == 1.0 and h[0, 1] == h[1, 0] == -0.75
+        assert eri[0, 0, 0, 0] == 0.5
+        # All 8 images of (12|11) must be populated.
+        for idx in [(0, 1, 0, 0), (1, 0, 0, 0), (0, 0, 0, 1), (0, 0, 1, 0)]:
+            assert eri[idx] == 0.25
+
+    def test_malformed_files_rejected(self, tmp_path):
+        no_header = tmp_path / "a.fcid"
+        no_header.write_text("1.0 1 1 0 0\n")
+        with pytest.raises(ValueError):
+            read_fcidump(no_header)
+        bad_line = tmp_path / "b.fcid"
+        bad_line.write_text("&FCI NORB=1,NELEC=0,MS2=0,\n&END\n1.0 1 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_fcidump(bad_line)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 3), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip_any_tensors(self, seed, norb, symmetrize):
+        """Both symmetric and wholly asymmetric tensors round-trip bitwise,
+        and the rebuilt operator fingerprints identically."""
+        import tempfile
+
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal((norb, norb))
+        eri = rng.standard_normal((norb, norb, norb, norb))
+        if symmetrize:
+            h = h + h.T
+            eri = eri + eri.transpose(1, 0, 2, 3)
+            eri = eri + eri.transpose(0, 1, 3, 2)
+            eri = eri + eri.transpose(2, 3, 0, 1)
+        core = float(rng.standard_normal())
+        with tempfile.TemporaryDirectory() as d:
+            path = f"{d}/t.fcid"
+            write_fcidump(path, h, eri, core)
+            h2, eri2, core2, _, _ = read_fcidump(path)
+        assert np.array_equal(h, h2)
+        assert np.array_equal(eri, eri2)
+        assert core == core2
+        a = fermion_hamiltonian_from_integrals(h, eri, core)
+        b = fermion_hamiltonian_from_integrals(h2, eri2, core2)
+        assert fingerprint_operator(a) == fingerprint_operator(b)
+
+
+# ----------------------------------------------------------------------
+# SYK ensemble
+# ----------------------------------------------------------------------
+class TestSykSource:
+    def test_deterministic_and_seed_sensitive(self):
+        a = fingerprint_operator(build_case("random:syk:n=6,seed=3"))
+        b = fingerprint_operator(build_case("random:syk:n=6,seed=3"))
+        c = fingerprint_operator(build_case("random:syk:n=6,seed=4"))
+        assert a == b != c
+
+    def test_hermitian(self):
+        assert build_case("random:syk:n=6,seed=0").is_hermitian()
+        assert build_case("random:syk:n=5,seed=2,j=0.5").is_hermitian()
+
+    def test_stream_matches_build(self):
+        src = resolve("random:syk:n=6,seed=9")
+        assert src.fingerprint_stream(spill_at=17) == \
+            fingerprint_operator(src.build())
+
+    def test_canonical_spec_normalizes(self):
+        assert canonical_spec("random:syk:seed=7,n=8") == "random:syk:n=8,seed=7"
+        assert canonical_spec("random:syk:n=8,seed=7,j=1") == \
+            "random:syk:n=8,seed=7"
+
+
+# ----------------------------------------------------------------------
+# Batch + serve integration
+# ----------------------------------------------------------------------
+class TestSourcesThroughTheStack:
+    def _dump_h2(self, tmp_path):
+        h, eri, core, nelec = case_integrals("H2_sto3g")
+        path = tmp_path / "h2.fcid"
+        write_fcidump(path, h, eri, core, nelec)
+        return f"fcidump:{path}"
+
+    def test_file_backed_batch_dedups_against_builtin(self, tmp_path):
+        fcid_spec = self._dump_h2(tmp_path)
+        report = compile_suite(
+            ["H2_sto3g", fcid_spec], ["hatt"], cache_dir=str(tmp_path / "cache")
+        )
+        assert report.n_errors == 0
+        assert report.n_tasks == 2
+        # Same physics through two frontends → one unique compile.
+        assert report.n_unique == 1
+        weights = {t.pauli_weight for t in report.tasks}
+        assert len(weights) == 1
+
+    def test_file_backed_batch_parallel_spec_shipping(self, tmp_path):
+        fcid_spec = self._dump_h2(tmp_path)
+        cache = str(tmp_path / "cache")
+        serial = compile_suite(
+            [fcid_spec, "random:syk:n=5,seed=1", "hubbard:1x2"],
+            ["hatt", "jw"], cache_dir=cache,
+        )
+        assert serial.n_errors == 0
+        warm = compile_suite(
+            [fcid_spec, "random:syk:n=5,seed=1", "hubbard:1x2"],
+            ["hatt", "jw"], cache_dir=cache, jobs=2,
+        )
+        assert warm.n_errors == 0
+        assert all(t.cache_hit for t in warm.tasks)
+        assert [t.pauli_weight for t in warm.tasks] == \
+            [t.pauli_weight for t in serial.tasks]
+        assert [t.fingerprint for t in warm.tasks] == \
+            [t.fingerprint for t in serial.tasks]
+
+    def test_cold_parallel_file_backed_batch(self, tmp_path):
+        fcid_spec = self._dump_h2(tmp_path)
+        report = compile_suite(
+            [fcid_spec, "hubbard:1x2"], ["hatt", "jw"],
+            cache_dir=str(tmp_path / "cache"), jobs=2,
+        )
+        assert report.n_errors == 0
+        assert all(t.pauli_weight is not None for t in report.tasks)
+
+    def test_bad_case_is_per_task_error(self, tmp_path):
+        report = compile_suite(
+            ["hubard:2x3", "hubbard:1x2"], ["jw"],
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert report.n_errors == 1
+        bad = [t for t in report.tasks if not t.ok][0]
+        assert "hubard" in (bad.error or "")
+
+    def test_service_cache_hit_across_frontends(self, tmp_path):
+        fcid_spec = self._dump_h2(tmp_path)
+        service = MappingService(cache_dir=str(tmp_path / "cache"))
+        spec = MappingSpec(kind="hatt")
+        cold = service.get_or_compile(build_case("H2_sto3g"), spec)
+        warm = service.get_or_compile(build_case(fcid_spec), spec)
+        assert cold.source == "compiled"
+        assert warm.source in ("memory", "disk")
+        assert warm.fingerprint == cold.fingerprint
+
+    def test_coalesce_key_canonicalizes_aliases(self):
+        a = CompileRequest(case="H2_sto3g")
+        b = CompileRequest(case="electronic:H2_sto3g")
+        assert a.coalesce_key() == b.coalesce_key()
+        # Unresolvable cases keep the raw string and differ.
+        c = CompileRequest(case="no_such_case")
+        d = CompileRequest(case="H2_sto3g")
+        assert c.coalesce_key() != d.coalesce_key()
